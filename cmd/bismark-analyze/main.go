@@ -1,0 +1,42 @@
+// bismark-analyze loads data sets written by bismark-sim (or a live
+// bismark-server) and regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	bismark-analyze -data ./data                 # every exhibit
+//	bismark-analyze -data ./data -only "Figure 3"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"natpeek"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bismark-analyze: ")
+
+	data := flag.String("data", "data", "directory of CSV data sets")
+	only := flag.String("only", "", `regenerate a single exhibit, e.g. "Figure 19"`)
+	flag.Parse()
+
+	study, err := natpeek.OpenStudy(*data)
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+	if *only != "" {
+		r, err := study.Report(*only)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(r.String())
+		return
+	}
+	if err := study.WriteReports(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

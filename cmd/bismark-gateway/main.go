@@ -1,0 +1,124 @@
+// bismark-gateway runs one BISmark router agent against a real
+// collection server over real sockets (UDP heartbeats + HTTP uploads).
+// The home behind the gateway is a synthetic household driven in
+// accelerated time: the agent's measurement schedule, anonymization, and
+// upload path are the real ones; only the house is simulated.
+//
+// Usage (with bismark-server running):
+//
+//	bismark-gateway -id bismark-US-900 -country US \
+//	    -server-udp 127.0.0.1:8077 -server-http 127.0.0.1:8080 \
+//	    -speedup 720 -duration 30s
+//
+// At -speedup 720 every wall-clock second advances the home by 12
+// simulated minutes, so a 30 s demo covers ~6 home-days.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/netip"
+	"time"
+
+	"natpeek/internal/clock"
+	"natpeek/internal/collector"
+	"natpeek/internal/dataset"
+	"natpeek/internal/eventsim"
+	"natpeek/internal/gateway"
+	"natpeek/internal/geo"
+	"natpeek/internal/household"
+	"natpeek/internal/linksim"
+	"natpeek/internal/mac"
+	"natpeek/internal/rng"
+	"natpeek/internal/wifi"
+)
+
+func main() {
+	log.SetFlags(log.Ltime)
+	log.SetPrefix("bismark-gateway: ")
+
+	id := flag.String("id", "bismark-US-900", "router identifier")
+	country := flag.String("country", "US", "deployment country code")
+	udp := flag.String("server-udp", "127.0.0.1:8077", "collection server heartbeat address")
+	httpAddr := flag.String("server-http", "127.0.0.1:8080", "collection server upload address")
+	speedup := flag.Float64("speedup", 720, "simulated seconds per wall second")
+	duration := flag.Duration("duration", 30*time.Second, "wall-clock run time")
+	seed := flag.Uint64("seed", 42, "household seed")
+	flag.Parse()
+
+	cty, ok := geo.Lookup(*country)
+	if !ok {
+		log.Fatalf("unknown country %q", *country)
+	}
+	cli, err := collector.NewClient(*id, *country, *udp, *httpAddr)
+	if err != nil {
+		log.Fatalf("connect: %v", err)
+	}
+	defer cli.Close()
+
+	// Build the synthetic home.
+	home := household.Generate(cty, 900, rng.New(*seed))
+	start := time.Date(2013, 4, 1, 0, 0, 0, 0, time.UTC)
+	clk := clock.NewSim(start)
+	sched := eventsim.New(clk, rng.New(*seed+1))
+
+	neigh := wifi.NewEnvironment()
+	for i := 0; i < home.NeighborAPs24; i++ {
+		neigh.AddAP(wifi.AP{BSSID: mac.FromOUI(0x0018F8, uint32(i)), Band: wifi.Band24, Channel: 11, RSSI: -60})
+	}
+	env := &gateway.Env{
+		Link: linksim.NewLink(clk, rng.New(*seed+2),
+			linksim.Config{RateBps: home.UpBps, BufferBytes: home.BufferUpBytes},
+			linksim.Config{RateBps: home.DownBps, BufferBytes: 1 << 20}),
+		Radio24: wifi.NewRadio(wifi.Band24, neigh, rng.New(*seed+3)),
+		Radio5:  wifi.NewRadio(wifi.Band5, neigh, rng.New(*seed+4)),
+	}
+	agent := gateway.New(gateway.Config{
+		ID:        *id,
+		LANPrefix: netip.MustParsePrefix("192.168.1.0/24"),
+		AnonKey:   []byte("live-demo"),
+	}, cli, env)
+
+	// Associate the home's devices on a rotating schedule.
+	sched.Every(time.Hour, 0, func(now time.Time) {
+		for _, d := range home.Devices {
+			online := home.DeviceOnline(d, now)
+			switch d.Conn {
+			case dataset.Wired:
+				if online {
+					env.AttachWired(d.HW)
+				} else {
+					env.DetachWired(d.HW)
+				}
+			case dataset.Wireless24:
+				if online {
+					env.Radio24.Associate(d.HW)
+				} else {
+					env.Radio24.Disassociate(d.HW)
+				}
+			default:
+				if online {
+					env.Radio5.Associate(d.HW)
+				} else {
+					env.Radio5.Disassociate(d.HW)
+				}
+			}
+		}
+	})
+
+	agent.PowerOn(sched)
+	log.Printf("agent %s up: %d devices, link %.1f/%.1f Mbps, reporting to %s",
+		*id, len(home.Devices), home.UpBps/1e6, home.DownBps/1e6, *udp)
+
+	// Drive simulated time at the requested speedup.
+	wallStart := time.Now()
+	tick := 100 * time.Millisecond
+	for time.Since(wallStart) < *duration {
+		time.Sleep(tick)
+		clk.Advance(time.Duration(float64(tick) * *speedup))
+	}
+	agent.PowerOff(clk.Now())
+	simSpan := clk.Now().Sub(start)
+	log.Printf("done: simulated %v of home time in %v",
+		simSpan.Round(time.Minute), time.Since(wallStart).Round(time.Second))
+}

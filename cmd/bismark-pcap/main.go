@@ -1,0 +1,142 @@
+// bismark-pcap analyzes a packet trace the way the gateway's passive
+// monitor does: flows with per-device attribution, DNS-derived domain
+// labels, per-device volumes, and per-second throughput — a tcpdump-like
+// view of the Traffic pipeline, runnable on any LINKTYPE_ETHERNET pcap.
+//
+// Usage:
+//
+//	bismark-pcap -in trace.pcap -lan 192.168.1.0/24
+//	bismark-pcap -demo -in /tmp/demo.pcap     # generate a demo trace first
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/netip"
+	"os"
+	"time"
+
+	"natpeek/internal/anonymize"
+	"natpeek/internal/capture"
+	"natpeek/internal/geo"
+	"natpeek/internal/household"
+	"natpeek/internal/mac"
+	"natpeek/internal/pcap"
+	"natpeek/internal/rng"
+	"natpeek/internal/trafficgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bismark-pcap: ")
+
+	in := flag.String("in", "", "pcap file to analyze")
+	lan := flag.String("lan", "192.168.1.0/24", "LAN prefix for direction inference and attribution")
+	demo := flag.Bool("demo", false, "first write a synthetic home trace to -in, then analyze it")
+	flows := flag.Int("flows", 15, "number of flows to print")
+	flag.Parse()
+
+	if *in == "" {
+		log.Fatal("-in required")
+	}
+	prefix, err := netip.ParsePrefix(*lan)
+	if err != nil {
+		log.Fatalf("bad -lan: %v", err)
+	}
+	if *demo {
+		if err := writeDemoTrace(*in, prefix); err != nil {
+			log.Fatalf("demo trace: %v", err)
+		}
+		log.Printf("demo trace written to %s", *in)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	r, err := pcap.NewReader(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if r.LinkType != pcap.LinkTypeEthernet {
+		log.Fatalf("unsupported link type %d (want Ethernet)", r.LinkType)
+	}
+
+	mon := capture.New(capture.Config{LANPrefix: prefix}, anonymize.New([]byte("bismark-pcap")))
+	n, err := mon.Replay(r)
+	if err != nil {
+		log.Fatalf("after %d frames: %v", n, err)
+	}
+
+	fmt.Printf("%d frames\n\n", n)
+	fmt.Println("devices (anonymized, OUI preserved):")
+	for _, d := range mon.Devices() {
+		fmt.Printf("  %s  up=%-10d down=%-10d bytes\n", d.Device, d.UpBytes, d.DownBytes)
+	}
+
+	fmt.Println("\nflows:")
+	for i, fl := range mon.Flows() {
+		if i >= *flows {
+			fmt.Printf("  … %d more\n", len(mon.Flows())-*flows)
+			break
+		}
+		dom := fl.Domain
+		if dom == "" {
+			dom = "-"
+		}
+		fmt.Printf("  %s %v %v:%d ⇄ :%d  %7d↑ %9d↓  %s\n",
+			fl.Key.Device, fl.Key.Proto, fl.Key.RemoteIP, fl.Key.RemotePort,
+			fl.Key.LocalPort, fl.UpBytes, fl.DownBytes, dom)
+	}
+
+	up := mon.Throughput(capture.Upstream)
+	down := mon.Throughput(capture.Downstream)
+	fmt.Printf("\nthroughput: %d busy seconds up, %d down; whitelisted volume share %.0f%%\n",
+		len(up), len(down), 100*mon.WhitelistedShare())
+}
+
+// writeDemoTrace renders one evening of a synthetic home as real frames.
+func writeDemoTrace(path string, prefix netip.Prefix) error {
+	us, _ := geo.Lookup("US")
+	home := household.Generate(us, 5, rng.New(8))
+	gen := trafficgen.New(home)
+	day := time.Date(2013, 4, 1, 0, 0, 0, 0, time.UTC)
+	dt := gen.GenerateDay(day, []household.Interval{{Start: day, End: day.Add(24 * time.Hour)}})
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := pcap.NewWriter(f, 0)
+	if err != nil {
+		return err
+	}
+	gw := mac.MustParse("20:4e:7f:00:00:01")
+	ips := map[string]netip.Addr{}
+	next := prefix.Addr().Next().Next()
+	frameRnd := rng.New(9)
+	count := 0
+	for _, flow := range dt.Flows {
+		if count >= 60 {
+			break
+		}
+		count++
+		ip, ok := ips[flow.Device.HW.String()]
+		if !ok {
+			ip = next
+			ips[flow.Device.HW.String()] = ip
+			next = next.Next()
+		}
+		for _, fr := range trafficgen.FramesForFlow(flow, trafficgen.FrameOpts{
+			GatewayMAC: gw, DeviceIP: ip, MaxDataPackets: 25,
+		}, frameRnd) {
+			if err := w.WritePacket(pcap.Packet{At: fr.At, Data: fr.Raw}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+// bismark-server runs the central collection server: a UDP sink for
+// router heartbeats and an HTTP API for measurement uploads. On SIGINT it
+// persists everything it collected as CSV data sets.
+//
+// Usage:
+//
+//	bismark-server -udp 127.0.0.1:8077 -http 127.0.0.1:8080 -out ./live-data
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"natpeek/internal/collector"
+	"natpeek/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(log.Ltime)
+	log.SetPrefix("bismark-server: ")
+
+	udp := flag.String("udp", "127.0.0.1:8077", "UDP address for heartbeats")
+	httpAddr := flag.String("http", "127.0.0.1:8080", "HTTP address for measurement uploads")
+	out := flag.String("out", "live-data", "directory to persist data sets on shutdown")
+	statsEvery := flag.Duration("stats-every", 30*time.Second, "how often to log collection progress")
+	flag.Parse()
+
+	store := dataset.NewStore()
+	srv, err := collector.NewServer(*udp, *httpAddr, store)
+	if err != nil {
+		log.Fatalf("start: %v", err)
+	}
+	log.Printf("heartbeats on udp://%s, uploads on http://%s", srv.UDPAddr(), srv.HTTPAddr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*statsEvery)
+	defer ticker.Stop()
+
+	for {
+		select {
+		case <-ticker.C:
+			beats := 0
+			for _, id := range store.Heartbeats.Routers() {
+				beats += store.Heartbeats.Count(id)
+			}
+			log.Printf("routers=%d heartbeats=%d uptime=%d capacity=%d counts=%d wifi=%d flows=%d",
+				len(store.RouterCountry), beats, len(store.Uptime), len(store.Capacity),
+				len(store.Counts), len(store.WiFi), len(store.Flows))
+		case <-stop:
+			log.Printf("shutting down, persisting to %s", *out)
+			srv.Close()
+			if err := store.Save(*out); err != nil {
+				log.Fatalf("save: %v", err)
+			}
+			return
+		}
+	}
+}

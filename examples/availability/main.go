@@ -1,0 +1,90 @@
+// Availability archetypes: build the three kinds of home the paper's
+// Fig. 6 shows — always-on (US), router-as-appliance (CN), and a flaky
+// ISP — run their heartbeat streams through the real gap analysis, and
+// render the availability strips.
+//
+//	go run ./examples/availability
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"natpeek/internal/geo"
+	"natpeek/internal/heartbeat"
+	"natpeek/internal/household"
+	"natpeek/internal/rng"
+)
+
+func main() {
+	root := rng.New(99)
+	from := time.Date(2013, 2, 22, 0, 0, 0, 0, time.UTC)
+	to := from.Add(17 * 24 * time.Hour)
+
+	us, _ := geo.Lookup("US")
+	cn, _ := geo.Lookup("CN")
+
+	// Find one home per archetype by drawing until the profile matches.
+	alwaysOn := findHome(us, root, func(p *household.Profile) bool { return !p.Appliance })
+	appliance := findHome(cn, root, func(p *household.Profile) bool { return p.Appliance })
+	flaky := findHome(us, root, func(p *household.Profile) bool {
+		if p.Appliance {
+			return false
+		}
+		// Heavily interrupted despite staying powered: compare power vs
+		// online time.
+		on := household.TotalDuration(p.PowerOnIntervals(from, to))
+		online := household.TotalDuration(p.OnlineIntervals(from, to))
+		return on > online+12*time.Hour
+	})
+
+	show := func(name string, p *household.Profile) {
+		log := heartbeat.NewLog()
+		online := p.OnlineIntervals(from, to)
+		for _, iv := range online {
+			n := int(iv.Duration() / heartbeat.Interval)
+			if n < 1 {
+				n = 1
+			}
+			log.RecordRun(p.ID, heartbeat.Run{Start: iv.Start, Interval: heartbeat.Interval, Count: n})
+		}
+		downs := log.Downtimes(p.ID, from, to, 0)
+		up := log.UptimeFraction(p.ID, from, to, 0)
+		fmt.Printf("%s (%s): uptime %.1f%%, %d downtimes ≥10min\n",
+			name, p.ID, up*100, len(downs))
+		for d := 0; d < 10; d++ {
+			day := from.Add(time.Duration(d) * 24 * time.Hour)
+			var b strings.Builder
+			fmt.Fprintf(&b, "  %s ", day.Format("01-02"))
+			for h := 0; h < 24; h++ {
+				at := day.Add(time.Duration(h)*time.Hour + 30*time.Minute)
+				if household.CoveredAt(online, at) {
+					b.WriteByte('#')
+				} else {
+					b.WriteByte('.')
+				}
+			}
+			fmt.Println(b.String())
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("(a) always-on household — typical of developed deployments")
+	show("always-on", alwaysOn)
+	fmt.Println("(b) router as appliance — evenings and weekends only (Fig. 6b)")
+	show("appliance", appliance)
+	fmt.Println("(c) powered on, flaky ISP — downtime without power-downs (Fig. 6c)")
+	show("flaky-isp", flaky)
+}
+
+func findHome(c geo.Country, root *rng.Stream, pred func(*household.Profile) bool) *household.Profile {
+	for i := 0; i < 500; i++ {
+		p := household.Generate(c, i, root)
+		if pred(p) {
+			return p
+		}
+	}
+	// Fall back to the first draw rather than failing the demo.
+	return household.Generate(c, 0, root)
+}

@@ -1,0 +1,40 @@
+// Quickstart: run a scaled-down reproduction of the IMC'13 home-network
+// study and print a few of its headline exhibits.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"natpeek"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 20%-scale deployment (≈26 homes) over two-week windows runs in a
+	// few seconds and already shows the paper's shape.
+	study := natpeek.NewStudy(natpeek.StudyConfig{
+		Seed:  2013,
+		Scale: 0.2,
+		Short: 14 * 24 * time.Hour,
+	})
+	fmt.Printf("deployment: %d homes across 19 countries\n\n", len(study.World.Homes))
+
+	if err := study.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, id := range []string{"Table 1", "Figure 3", "Figure 7", "Figure 19"} {
+		r, err := study.Report(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.String())
+	}
+
+	fmt.Println("run `go run ./cmd/bismark-sim -report` for the full 126-home study")
+}

@@ -1,0 +1,107 @@
+// Usage caps: the uCap-style tool the paper's deployment carried (§3.1)
+// and the web interface consenting users got (§3.2.2). A capped
+// household's month of traffic runs through the cap manager — alerts
+// fire as thresholds pass, heavy devices get throttled near the cap —
+// and the router's web dashboard serves the same numbers over HTTP.
+//
+//	go run ./examples/usagecaps
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"natpeek/internal/capmgmt"
+	"natpeek/internal/geo"
+	"natpeek/internal/household"
+	"natpeek/internal/rng"
+	"natpeek/internal/trafficgen"
+	"natpeek/internal/webui"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	us, _ := geo.Lookup("US")
+	home := household.Generate(us, 23, rng.New(12))
+	for i := 24; len(home.Devices) < 4; i++ {
+		home = household.Generate(us, i, rng.New(12))
+	}
+	gen := trafficgen.New(home)
+
+	// A 50 GB plan — tight for this home.
+	plan := capmgmt.Plan{MonthlyCapBytes: 50e9, BillingDay: 1}
+	start := time.Date(2013, 4, 1, 0, 0, 0, 0, time.UTC)
+	mgr := capmgmt.New(plan, start)
+	policy := capmgmt.ThrottlePolicy{StartAt: 0.9, HeavyShare: 0.3}
+
+	fmt.Printf("household %s: %d devices on a %d GB/month plan\n\n",
+		home.ID, len(home.Devices), plan.MonthlyCapBytes/1e9)
+
+	// Run a month of traffic through the manager.
+	for d := 0; d < 30; d++ {
+		day := start.Add(time.Duration(d) * 24 * time.Hour)
+		dt := gen.GenerateDay(day, []household.Interval{{Start: day, End: day.Add(24 * time.Hour)}})
+		for _, f := range dt.Flows {
+			for _, alert := range mgr.Record(f.Device.HW, f.UpBytes+f.DownBytes, f.Start) {
+				fmt.Printf("  day %2d  ALERT: %s\n", d+1, alert)
+			}
+		}
+		if d == 14 || d == 29 {
+			// Stay inside the billing period: projecting at the first
+			// instant of the next month would roll the period over.
+			at := day.Add(24*time.Hour - time.Minute)
+			fmt.Printf("  day %2d  used %.1f GB, projected %.1f GB (will exceed: %v)\n",
+				d+1, float64(mgr.Used())/1e9,
+				float64(mgr.Projection(at))/1e9, mgr.WillExceed(at))
+		}
+	}
+
+	fmt.Println("\nend-of-month usage by device:")
+	for i, du := range mgr.ByDevice() {
+		if i == 5 {
+			break
+		}
+		throttled := ""
+		if policy.ShouldThrottle(mgr, du.Device) {
+			throttled = "  [THROTTLED]"
+		}
+		fmt.Printf("  %s  %6.1f GB  (%4.1f%%)%s\n",
+			du.Device, float64(du.Bytes)/1e9, du.Share*100, throttled)
+	}
+
+	// The web interface over real HTTP.
+	now := start.Add(30*24*time.Hour - time.Minute)
+	srv, err := webui.New("127.0.0.1:0", webui.Config{
+		RouterID: home.ID,
+		Usage: func() webui.UsageSnapshot {
+			snap := webui.UsageSnapshot{
+				GeneratedAt: now,
+				CapBytes:    mgr.Cap(), UsedBytes: mgr.Used(),
+				RemainingBytes: mgr.Remaining(), ProjectedBytes: mgr.Projection(now),
+			}
+			for _, du := range mgr.ByDevice() {
+				snap.Devices = append(snap.Devices, webui.DeviceRow{
+					Device: du.Device.String(), Bytes: du.Bytes, Share: du.Share,
+				})
+			}
+			return snap
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/api/usage")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("\nrouter dashboard live at http://%s — /api/usage returns %d bytes of JSON\n",
+		srv.Addr(), len(body))
+}

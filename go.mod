@@ -1,0 +1,3 @@
+module natpeek
+
+go 1.22

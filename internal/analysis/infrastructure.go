@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"natpeek/internal/dataset"
+	"natpeek/internal/mac"
+	"natpeek/internal/ouidb"
+	"natpeek/internal/stats"
+)
+
+// UniqueDevicesPerHome counts the distinct (anonymized) devices each home
+// ever connected — Fig. 7's distribution.
+func UniqueDevicesPerHome(st *dataset.Store) map[string]int {
+	seen := map[string]map[mac.Addr]bool{}
+	for _, s := range st.Sightings {
+		m := seen[s.RouterID]
+		if m == nil {
+			m = map[mac.Addr]bool{}
+			seen[s.RouterID] = m
+		}
+		m[s.Device] = true
+	}
+	out := make(map[string]int, len(seen))
+	for id, m := range seen {
+		out[id] = len(m)
+	}
+	return out
+}
+
+// ConnectedAverages is Fig. 8/9's summary: the mean (and stddev) number of
+// devices connected at any given census instant, split by kind.
+type ConnectedAverages struct {
+	Wired, Wireless, W24, W5 stats.Summary
+}
+
+// ConnectedByGroup computes per-group connected-device averages across
+// all census rows.
+func ConnectedByGroup(st *dataset.Store) map[Group]ConnectedAverages {
+	samples := map[Group]struct{ wired, wireless, w24, w5 []float64 }{}
+	for _, c := range st.Counts {
+		dev, ok := isDeveloped(st, c.RouterID)
+		if !ok {
+			continue
+		}
+		g := Developing
+		if dev {
+			g = Developed
+		}
+		s := samples[g]
+		s.wired = append(s.wired, float64(c.Wired))
+		s.wireless = append(s.wireless, float64(c.W24+c.W5))
+		s.w24 = append(s.w24, float64(c.W24))
+		s.w5 = append(s.w5, float64(c.W5))
+		samples[g] = s
+	}
+	out := map[Group]ConnectedAverages{}
+	for g, s := range samples {
+		out[g] = ConnectedAverages{
+			Wired:    stats.Summarize(s.wired),
+			Wireless: stats.Summarize(s.wireless),
+			W24:      stats.Summarize(s.w24),
+			W5:       stats.Summarize(s.w5),
+		}
+	}
+	return out
+}
+
+// UniqueDevicesPerBand counts each home's distinct devices per wireless
+// band — Fig. 10 (paper: median 5 on 2.4 GHz, 2 on 5 GHz).
+func UniqueDevicesPerBand(st *dataset.Store) (b24, b5 []float64) {
+	type key struct {
+		id   string
+		kind dataset.ConnKind
+	}
+	seen := map[key]map[mac.Addr]bool{}
+	homes := map[string]bool{}
+	for _, s := range st.Sightings {
+		homes[s.RouterID] = true
+		if s.Kind == dataset.Wired {
+			continue
+		}
+		k := key{s.RouterID, s.Kind}
+		m := seen[k]
+		if m == nil {
+			m = map[mac.Addr]bool{}
+			seen[k] = m
+		}
+		m[s.Device] = true
+	}
+	for id := range homes {
+		b24 = append(b24, float64(len(seen[key{id, dataset.Wireless24}])))
+		b5 = append(b5, float64(len(seen[key{id, dataset.Wireless5}])))
+	}
+	sort.Float64s(b24)
+	sort.Float64s(b5)
+	return b24, b5
+}
+
+// AlwaysConnectedShare computes Table 5: the fraction of homes in each
+// group with at least one device present in *every* census its router
+// took over a span of at least minSpan (five weeks in the paper), split
+// by wired/wireless attachment.
+type AlwaysConnectedShare struct {
+	Homes         int
+	WithWired     int
+	WithWireless  int
+	WiredShare    float64
+	WirelessShare float64
+}
+
+// AlwaysConnected computes Table 5 per group.
+func AlwaysConnected(st *dataset.Store, minSpan time.Duration) map[Group]AlwaysConnectedShare {
+	// Census instants per router.
+	censuses := map[string][]time.Time{}
+	for _, c := range st.Counts {
+		censuses[c.RouterID] = append(censuses[c.RouterID], c.At)
+	}
+	// Sightings per router per device.
+	type devKey struct {
+		id  string
+		dev mac.Addr
+	}
+	sightCount := map[devKey]int{}
+	devKind := map[devKey]dataset.ConnKind{}
+	for _, s := range st.Sightings {
+		k := devKey{s.RouterID, s.Device}
+		sightCount[k]++
+		devKind[k] = s.Kind
+	}
+	out := map[Group]AlwaysConnectedShare{}
+	for id, cs := range censuses {
+		dev, ok := isDeveloped(st, id)
+		if !ok || len(cs) == 0 {
+			continue
+		}
+		sort.Slice(cs, func(i, j int) bool { return cs[i].Before(cs[j]) })
+		span := cs[len(cs)-1].Sub(cs[0])
+		g := Developing
+		if dev {
+			g = Developed
+		}
+		share := out[g]
+		share.Homes++
+		if span >= minSpan {
+			wired, wireless := false, false
+			for k, n := range sightCount {
+				if k.id != id || n < len(cs) {
+					continue
+				}
+				if devKind[k] == dataset.Wired {
+					wired = true
+				} else {
+					wireless = true
+				}
+			}
+			if wired {
+				share.WithWired++
+			}
+			if wireless {
+				share.WithWireless++
+			}
+		}
+		out[g] = share
+	}
+	for g, s := range out {
+		if s.Homes > 0 {
+			s.WiredShare = float64(s.WithWired) / float64(s.Homes)
+			s.WirelessShare = float64(s.WithWireless) / float64(s.Homes)
+		}
+		out[g] = s
+	}
+	return out
+}
+
+// VisibleAPsByGroup returns each home's median number of 2.4 GHz visible
+// APs, per group — Fig. 11 (developed median ≈20, developing ≈2).
+func VisibleAPsByGroup(st *dataset.Store) map[Group][]float64 {
+	perHome := map[string][]float64{}
+	for _, s := range st.WiFi {
+		if s.Band != "2.4GHz" {
+			continue
+		}
+		perHome[s.RouterID] = append(perHome[s.RouterID], float64(s.VisibleAPs))
+	}
+	out := map[Group][]float64{}
+	for id, aps := range perHome {
+		dev, ok := isDeveloped(st, id)
+		if !ok {
+			continue
+		}
+		g := Developing
+		if dev {
+			g = Developed
+		}
+		out[g] = append(out[g], stats.Median(aps))
+	}
+	for g := range out {
+		sort.Float64s(out[g])
+	}
+	return out
+}
+
+// AllFourPortsShare returns the fraction of homes that ever used all four
+// Ethernet ports (§5.2: "only a few households use all four Ethernet
+// ports (9%)").
+func AllFourPortsShare(st *dataset.Store, g Group) float64 {
+	maxWired := map[string]int{}
+	for _, c := range st.Counts {
+		if c.Wired > maxWired[c.RouterID] {
+			maxWired[c.RouterID] = c.Wired
+		}
+	}
+	ids := RoutersInGroup(st, g)
+	if len(ids) == 0 {
+		return 0
+	}
+	n := 0
+	for _, id := range ids {
+		if maxWired[id] >= 4 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(ids))
+}
+
+// ManufacturerCount is one Fig. 12 bar.
+type ManufacturerCount struct {
+	Category ouidb.Category
+	Devices  int
+}
+
+// ManufacturerHistogram counts devices per Fig. 12 category across the
+// Traffic-subset homes, excluding the platform's own Netgear hardware and
+// devices below the paper's 100 KB traffic floor.
+func ManufacturerHistogram(st *dataset.Store, minBytes int64) []ManufacturerCount {
+	// Volume per device across flows.
+	vol := map[mac.Addr]int64{}
+	for _, f := range st.Flows {
+		vol[f.Device] += f.Bytes()
+	}
+	counts := map[ouidb.Category]map[mac.Addr]bool{}
+	for dev, b := range vol {
+		if b < minBytes || ouidb.IsBISmarkRouter(dev) {
+			continue
+		}
+		e := ouidb.Lookup(dev)
+		if e.Category == ouidb.CatUnknown {
+			continue
+		}
+		m := counts[e.Category]
+		if m == nil {
+			m = map[mac.Addr]bool{}
+			counts[e.Category] = m
+		}
+		m[dev] = true
+	}
+	var out []ManufacturerCount
+	for cat, m := range counts {
+		out = append(out, ManufacturerCount{Category: cat, Devices: len(m)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Devices != out[j].Devices {
+			return out[i].Devices > out[j].Devices
+		}
+		return out[i].Category < out[j].Category
+	})
+	return out
+}

@@ -1,0 +1,176 @@
+package capmgmt
+
+import (
+	"testing"
+	"time"
+
+	"natpeek/internal/mac"
+)
+
+var (
+	t0   = time.Date(2013, 4, 5, 12, 0, 0, 0, time.UTC)
+	devA = mac.MustParse("a4:b1:97:00:00:01")
+	devB = mac.MustParse("00:24:54:00:00:02")
+)
+
+func newMgr(capBytes int64) *Manager {
+	return New(Plan{MonthlyCapBytes: capBytes, BillingDay: 1}, t0)
+}
+
+func TestPeriodStartBeforeBillingDay(t *testing.T) {
+	m := New(Plan{BillingDay: 10}, time.Date(2013, 4, 5, 0, 0, 0, 0, time.UTC))
+	want := time.Date(2013, 3, 10, 0, 0, 0, 0, time.UTC)
+	if !m.PeriodStart().Equal(want) {
+		t.Fatalf("period start %v, want %v", m.PeriodStart(), want)
+	}
+	m2 := New(Plan{BillingDay: 10}, time.Date(2013, 4, 15, 0, 0, 0, 0, time.UTC))
+	want2 := time.Date(2013, 4, 10, 0, 0, 0, 0, time.UTC)
+	if !m2.PeriodStart().Equal(want2) {
+		t.Fatalf("period start %v, want %v", m2.PeriodStart(), want2)
+	}
+}
+
+func TestRecordAccumulates(t *testing.T) {
+	m := newMgr(1000)
+	m.Record(devA, 300, t0)
+	m.Record(devB, 200, t0.Add(time.Hour))
+	if m.Used() != 500 || m.Remaining() != 500 {
+		t.Fatalf("used=%d remaining=%d", m.Used(), m.Remaining())
+	}
+	by := m.ByDevice()
+	if len(by) != 2 || by[0].Device != devA || by[0].Share != 0.6 {
+		t.Fatalf("by device %+v", by)
+	}
+}
+
+func TestAlertsFireOnceInOrder(t *testing.T) {
+	m := newMgr(1000)
+	if a := m.Record(devA, 400, t0); len(a) != 0 {
+		t.Fatalf("early alert %v", a)
+	}
+	a := m.Record(devA, 200, t0.Add(time.Hour)) // 60% → crosses 0.5
+	if len(a) != 1 || a[0].Threshold != 0.5 {
+		t.Fatalf("alerts %v", a)
+	}
+	a = m.Record(devA, 500, t0.Add(2*time.Hour)) // 110% → crosses 0.8, 0.95, 1.0
+	if len(a) != 3 || a[2].Threshold != 1.0 {
+		t.Fatalf("alerts %v", a)
+	}
+	// Nothing re-fires.
+	if a := m.Record(devA, 100, t0.Add(3*time.Hour)); len(a) != 0 {
+		t.Fatalf("re-fired %v", a)
+	}
+	if len(m.Alerts()) != 4 {
+		t.Fatalf("total alerts %d", len(m.Alerts()))
+	}
+}
+
+func TestOverCap(t *testing.T) {
+	m := newMgr(100)
+	m.Record(devA, 100, t0)
+	if !m.OverCap() || m.Remaining() != 0 {
+		t.Fatal("cap not detected")
+	}
+}
+
+func TestUncappedPlan(t *testing.T) {
+	m := newMgr(0)
+	if a := m.Record(devA, 1e9, t0); len(a) != 0 {
+		t.Fatal("uncapped plan alerted")
+	}
+	if m.Remaining() != -1 || m.OverCap() {
+		t.Fatal("uncapped semantics wrong")
+	}
+}
+
+func TestBillingRollover(t *testing.T) {
+	m := newMgr(1000)
+	m.Record(devA, 900, t0)
+	// Next month: usage resets, history records the period.
+	next := time.Date(2013, 5, 2, 0, 0, 0, 0, time.UTC)
+	m.Record(devA, 100, next)
+	if m.Used() != 100 {
+		t.Fatalf("used after rollover = %d", m.Used())
+	}
+	h := m.History()
+	if len(h) != 1 || h[0].Used != 900 {
+		t.Fatalf("history %+v", h)
+	}
+	// Alerts reset too: 0.5 fires again in the new period.
+	if a := m.Record(devA, 500, next.Add(time.Hour)); len(a) != 1 {
+		t.Fatalf("alerts after rollover %v", a)
+	}
+}
+
+func TestRolloverSkipsMultipleMonths(t *testing.T) {
+	m := newMgr(1000)
+	m.Record(devA, 500, t0)
+	m.Record(devA, 10, t0.AddDate(0, 3, 0))
+	if len(m.History()) != 3 {
+		t.Fatalf("history %d periods, want 3", len(m.History()))
+	}
+}
+
+func TestProjection(t *testing.T) {
+	m := newMgr(30000)
+	// 10 days into a ~30-day period, 10000 used → projects ≈30000.
+	tenDays := time.Date(2013, 4, 11, 0, 0, 0, 0, time.UTC)
+	m.Record(devA, 10000, tenDays)
+	proj := m.Projection(tenDays)
+	if proj < 25000 || proj > 35000 {
+		t.Fatalf("projection %d", proj)
+	}
+	if m.WillExceed(tenDays) {
+		t.Fatal("projection should sit at the cap, not exceed")
+	}
+	m.Record(devA, 10000, tenDays)
+	if !m.WillExceed(tenDays) {
+		t.Fatal("doubled usage should project over cap")
+	}
+}
+
+func TestThrottlePolicy(t *testing.T) {
+	m := newMgr(1000)
+	tp := ThrottlePolicy{StartAt: 0.9, HeavyShare: 0.5}
+	m.Record(devA, 700, t0)
+	m.Record(devB, 150, t0)
+	// 85% used: nobody throttled.
+	if tp.ShouldThrottle(m, devA) {
+		t.Fatal("throttled below start threshold")
+	}
+	m.Record(devB, 60, t0) // 91%
+	if !tp.ShouldThrottle(m, devA) {
+		t.Fatal("heavy device not throttled at 91%")
+	}
+	if tp.ShouldThrottle(m, devB) {
+		t.Fatal("light device throttled")
+	}
+	m.Record(devA, 100, t0) // over cap
+	if !tp.ShouldThrottle(m, devB) {
+		t.Fatal("over cap should throttle everyone")
+	}
+}
+
+func TestThrottleUncapped(t *testing.T) {
+	m := newMgr(0)
+	m.Record(devA, 1e12, t0)
+	if (ThrottlePolicy{}).ShouldThrottle(m, devA) {
+		t.Fatal("uncapped plan throttled")
+	}
+}
+
+func TestNegativeAndZeroRecordIgnored(t *testing.T) {
+	m := newMgr(100)
+	m.Record(devA, 0, t0)
+	m.Record(devA, -50, t0)
+	if m.Used() != 0 {
+		t.Fatal("non-positive bytes recorded")
+	}
+}
+
+func TestAlertString(t *testing.T) {
+	a := Alert{At: t0, Threshold: 0.8, Used: 800, Cap: 1000}
+	if s := a.String(); s == "" {
+		t.Fatal("empty alert string")
+	}
+}

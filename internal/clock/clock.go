@@ -1,0 +1,185 @@
+// Package clock provides an abstraction over time so that the measurement
+// platform can run both against the wall clock (real deployments over real
+// sockets) and against a deterministic simulated clock (the synthetic world
+// that stands in for the paper's 126-home deployment).
+//
+// The simulated clock is driven explicitly: time only moves when Advance or
+// Run is called, and all timers fire in timestamp order. This makes every
+// experiment reproducible from a seed.
+package clock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source used throughout the platform.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the then-current time once d has
+	// elapsed on this clock.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks until d has elapsed on this clock.
+	Sleep(d time.Duration)
+}
+
+// Real is a Clock backed by the wall clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Sim is a deterministic simulated clock. Time advances only via Advance,
+// AdvanceTo, or Run. Timers registered with After fire, in order, as time
+// passes them. Sim is safe for concurrent use, but deterministic replay is
+// only guaranteed when a single goroutine drives Advance.
+type Sim struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*simWaiter
+	seq     uint64 // tie-break so equal deadlines fire in registration order
+}
+
+type simWaiter struct {
+	deadline time.Time
+	seq      uint64
+	ch       chan time.Time
+	fn       func(time.Time)
+}
+
+// NewSim returns a simulated clock starting at start.
+func NewSim(start time.Time) *Sim {
+	return &Sim{now: start}
+}
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// After implements Clock. The returned channel has capacity 1 so firing
+// never blocks the Advance loop.
+func (s *Sim) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d <= 0 {
+		ch <- s.now
+		return ch
+	}
+	s.insertLocked(&simWaiter{deadline: s.now.Add(d), seq: s.seq, ch: ch})
+	return ch
+}
+
+// AfterFunc schedules fn to run (synchronously, inside the Advance call)
+// once d has elapsed. It is the workhorse of the discrete-event layer.
+func (s *Sim) AfterFunc(d time.Duration, fn func(now time.Time)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	s.insertLocked(&simWaiter{deadline: s.now.Add(d), seq: s.seq, fn: fn})
+}
+
+// At schedules fn at an absolute instant. Instants in the past fire on the
+// next Advance.
+func (s *Sim) At(t time.Time, fn func(now time.Time)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.insertLocked(&simWaiter{deadline: t, seq: s.seq, fn: fn})
+}
+
+func (s *Sim) insertLocked(w *simWaiter) {
+	s.seq++
+	w.seq = s.seq
+	i := sort.Search(len(s.waiters), func(i int) bool {
+		wi := s.waiters[i]
+		if wi.deadline.Equal(w.deadline) {
+			return wi.seq > w.seq
+		}
+		return wi.deadline.After(w.deadline)
+	})
+	s.waiters = append(s.waiters, nil)
+	copy(s.waiters[i+1:], s.waiters[i:])
+	s.waiters[i] = w
+}
+
+// Sleep implements Clock. It blocks until another goroutine advances the
+// clock past the deadline. Sleeping on a Sim from the driving goroutine
+// deadlocks by design — use AfterFunc there instead.
+func (s *Sim) Sleep(d time.Duration) { <-s.After(d) }
+
+// Advance moves simulated time forward by d, firing every timer whose
+// deadline falls inside the window, in deadline order.
+func (s *Sim) Advance(d time.Duration) {
+	s.mu.Lock()
+	target := s.now.Add(d)
+	s.mu.Unlock()
+	s.AdvanceTo(target)
+}
+
+// AdvanceTo moves simulated time to target (no-op if target is in the past),
+// firing timers in order. Timers scheduled by firing callbacks that land
+// inside the window also fire during the same call.
+func (s *Sim) AdvanceTo(target time.Time) {
+	for {
+		s.mu.Lock()
+		if len(s.waiters) == 0 || s.waiters[0].deadline.After(target) {
+			if target.After(s.now) {
+				s.now = target
+			}
+			s.mu.Unlock()
+			return
+		}
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		if w.deadline.After(s.now) {
+			s.now = w.deadline
+		}
+		now := s.now
+		s.mu.Unlock()
+		if w.ch != nil {
+			w.ch <- now
+		}
+		if w.fn != nil {
+			w.fn(now)
+		}
+	}
+}
+
+// Run advances the clock until no timers remain or until the optional limit
+// is reached. It returns the final simulated time.
+func (s *Sim) Run(limit time.Time) time.Time {
+	for {
+		s.mu.Lock()
+		if len(s.waiters) == 0 {
+			s.mu.Unlock()
+			return s.Now()
+		}
+		next := s.waiters[0].deadline
+		s.mu.Unlock()
+		if !limit.IsZero() && next.After(limit) {
+			s.AdvanceTo(limit)
+			return s.Now()
+		}
+		s.AdvanceTo(next)
+	}
+}
+
+// Pending reports the number of unfired timers.
+func (s *Sim) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
+}

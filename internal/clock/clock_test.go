@@ -1,0 +1,217 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2012, 10, 1, 0, 0, 0, 0, time.UTC)
+
+func TestRealNow(t *testing.T) {
+	c := Real{}
+	a := c.Now()
+	b := time.Now()
+	if b.Sub(a) < 0 || b.Sub(a) > time.Minute {
+		t.Fatalf("Real.Now out of range: %v vs %v", a, b)
+	}
+}
+
+func TestSimStartsAtEpoch(t *testing.T) {
+	s := NewSim(epoch)
+	if !s.Now().Equal(epoch) {
+		t.Fatalf("Now = %v, want %v", s.Now(), epoch)
+	}
+}
+
+func TestSimAdvanceMovesTime(t *testing.T) {
+	s := NewSim(epoch)
+	s.Advance(90 * time.Second)
+	if got, want := s.Now(), epoch.Add(90*time.Second); !got.Equal(want) {
+		t.Fatalf("Now = %v, want %v", got, want)
+	}
+}
+
+func TestSimAdvanceToPastIsNoop(t *testing.T) {
+	s := NewSim(epoch)
+	s.AdvanceTo(epoch.Add(-time.Hour))
+	if !s.Now().Equal(epoch) {
+		t.Fatalf("time moved backwards: %v", s.Now())
+	}
+}
+
+func TestSimAfterFiresAtDeadline(t *testing.T) {
+	s := NewSim(epoch)
+	ch := s.After(10 * time.Minute)
+	s.Advance(9 * time.Minute)
+	select {
+	case <-ch:
+		t.Fatal("fired early")
+	default:
+	}
+	s.Advance(time.Minute)
+	select {
+	case ts := <-ch:
+		if !ts.Equal(epoch.Add(10 * time.Minute)) {
+			t.Fatalf("fired at %v", ts)
+		}
+	default:
+		t.Fatal("did not fire")
+	}
+}
+
+func TestSimAfterNonPositiveFiresImmediately(t *testing.T) {
+	s := NewSim(epoch)
+	select {
+	case <-s.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+	select {
+	case <-s.After(-time.Second):
+	default:
+		t.Fatal("After(<0) did not fire immediately")
+	}
+}
+
+func TestSimAfterFuncOrder(t *testing.T) {
+	s := NewSim(epoch)
+	var got []int
+	s.AfterFunc(3*time.Second, func(time.Time) { got = append(got, 3) })
+	s.AfterFunc(1*time.Second, func(time.Time) { got = append(got, 1) })
+	s.AfterFunc(2*time.Second, func(time.Time) { got = append(got, 2) })
+	s.Advance(5 * time.Second)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSimEqualDeadlinesFireInRegistrationOrder(t *testing.T) {
+	s := NewSim(epoch)
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.AfterFunc(time.Second, func(time.Time) { got = append(got, i) })
+	}
+	s.Advance(time.Second)
+	for i := 0; i < 5; i++ {
+		if got[i] != i {
+			t.Fatalf("order %v", got)
+		}
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	s := NewSim(epoch)
+	var fired []string
+	s.AfterFunc(time.Second, func(time.Time) {
+		fired = append(fired, "outer")
+		s.AfterFunc(time.Second, func(time.Time) {
+			fired = append(fired, "inner")
+		})
+	})
+	s.Advance(3 * time.Second)
+	if len(fired) != 2 || fired[0] != "outer" || fired[1] != "inner" {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestSimNestedSchedulingBeyondWindowDoesNotFire(t *testing.T) {
+	s := NewSim(epoch)
+	inner := false
+	s.AfterFunc(time.Second, func(time.Time) {
+		s.AfterFunc(time.Hour, func(time.Time) { inner = true })
+	})
+	s.Advance(2 * time.Second)
+	if inner {
+		t.Fatal("inner fired before its deadline")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+}
+
+func TestSimAtAbsolute(t *testing.T) {
+	s := NewSim(epoch)
+	var at time.Time
+	s.At(epoch.Add(42*time.Minute), func(now time.Time) { at = now })
+	s.Run(epoch.Add(time.Hour))
+	if !at.Equal(epoch.Add(42 * time.Minute)) {
+		t.Fatalf("fired at %v", at)
+	}
+}
+
+func TestSimRunStopsAtLimit(t *testing.T) {
+	s := NewSim(epoch)
+	fired := 0
+	s.AfterFunc(time.Hour, func(time.Time) { fired++ })
+	s.AfterFunc(48*time.Hour, func(time.Time) { fired++ })
+	end := s.Run(epoch.Add(24 * time.Hour))
+	if fired != 1 {
+		t.Fatalf("fired %d timers, want 1", fired)
+	}
+	if !end.Equal(epoch.Add(24 * time.Hour)) {
+		t.Fatalf("Run returned %v", end)
+	}
+}
+
+func TestSimRunDrainsAll(t *testing.T) {
+	s := NewSim(epoch)
+	n := 0
+	for i := 1; i <= 10; i++ {
+		s.AfterFunc(time.Duration(i)*time.Minute, func(time.Time) { n++ })
+	}
+	s.Run(time.Time{}.AddDate(3000, 0, 0))
+	if n != 10 {
+		t.Fatalf("fired %d, want 10", n)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+}
+
+func TestSimSleepUnblocksOnAdvance(t *testing.T) {
+	s := NewSim(epoch)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	done := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		s.Sleep(time.Minute)
+		close(done)
+	}()
+	// Wait for the sleeper to register its timer.
+	for s.Pending() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	s.Advance(2 * time.Minute)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep never unblocked")
+	}
+	wg.Wait()
+}
+
+func TestSimManyTimersStaySorted(t *testing.T) {
+	s := NewSim(epoch)
+	var prev time.Time
+	ok := true
+	// Insert in a scrambled deterministic order.
+	for i := 0; i < 500; i++ {
+		d := time.Duration((i*7919)%1000) * time.Second
+		s.AfterFunc(d, func(now time.Time) {
+			if now.Before(prev) {
+				ok = false
+			}
+			prev = now
+		})
+	}
+	s.Advance(1000 * time.Second)
+	if !ok {
+		t.Fatal("timers fired out of order")
+	}
+}

@@ -1,0 +1,253 @@
+// Package collector implements the central BISmark server: a UDP sink
+// for heartbeats and an HTTP API for measurement uploads, storing
+// everything in a dataset.Store. The matching Client implements
+// gateway.Sink over the network, so the same agent code that runs in the
+// simulator can report to a real server (cmd/bismark-gateway →
+// cmd/bismark-server).
+package collector
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"natpeek/internal/dataset"
+	"natpeek/internal/heartbeat"
+)
+
+// Server is the collection server.
+type Server struct {
+	mu    sync.Mutex
+	store *dataset.Store
+
+	hbRx *heartbeat.Receiver
+	http *http.Server
+	ln   net.Listener
+}
+
+// NewServer starts a collection server with a UDP heartbeat port and an
+// HTTP upload API. Pass "127.0.0.1:0" style addresses; zero ports pick
+// ephemeral ones.
+func NewServer(udpAddr, httpAddr string, store *dataset.Store) (*Server, error) {
+	if store == nil {
+		store = dataset.NewStore()
+	}
+	s := &Server{store: store}
+	rx, err := heartbeat.NewReceiver(udpAddr, store.Heartbeats, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.hbRx = rx
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/register", s.handleRegister)
+	mux.HandleFunc("POST /v1/uptime", jsonHandler(s, func(st *dataset.Store, r dataset.UptimeReport) {
+		st.Uptime = append(st.Uptime, r)
+	}))
+	mux.HandleFunc("POST /v1/capacity", jsonHandler(s, func(st *dataset.Store, c dataset.CapacityMeasure) {
+		st.Capacity = append(st.Capacity, c)
+	}))
+	mux.HandleFunc("POST /v1/devices", s.handleDevices)
+	mux.HandleFunc("POST /v1/wifi", jsonHandler(s, func(st *dataset.Store, scans []dataset.WiFiScan) {
+		st.WiFi = append(st.WiFi, scans...)
+	}))
+	mux.HandleFunc("POST /v1/traffic/flows", jsonHandler(s, func(st *dataset.Store, fl []dataset.FlowRecord) {
+		st.Flows = append(st.Flows, fl...)
+	}))
+	mux.HandleFunc("POST /v1/traffic/throughput", jsonHandler(s, func(st *dataset.Store, ts []dataset.ThroughputSample) {
+		st.Throughput = append(st.Throughput, ts...)
+	}))
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+
+	ln, err := net.Listen("tcp", httpAddr)
+	if err != nil {
+		rx.Close()
+		return nil, fmt.Errorf("collector: listen %s: %w", httpAddr, err)
+	}
+	s.ln = ln
+	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go s.http.Serve(ln)
+	return s, nil
+}
+
+// UDPAddr returns the heartbeat address.
+func (s *Server) UDPAddr() string { return s.hbRx.Addr().String() }
+
+// HTTPAddr returns the upload API address.
+func (s *Server) HTTPAddr() string { return s.ln.Addr().String() }
+
+// Store returns the server's dataset store. Callers must not mutate it
+// while the server is running; use Snapshot-style access after Close.
+func (s *Server) Store() *dataset.Store { return s.store }
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	s.hbRx.Close()
+	return s.http.Close()
+}
+
+func jsonHandler[T any](s *Server, apply func(*dataset.Store, T)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var v T
+		if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.mu.Lock()
+		apply(s.store, v)
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+type registerReq struct {
+	RouterID string `json:"router_id"`
+	Country  string `json:"country"`
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.RouterID == "" {
+		http.Error(w, "bad register", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.store.RouterCountry[req.RouterID] = req.Country
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+type censusUpload struct {
+	Count     dataset.DeviceCount      `json:"count"`
+	Sightings []dataset.DeviceSighting `json:"sightings"`
+}
+
+func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
+	var up censusUpload
+	if err := json.NewDecoder(r.Body).Decode(&up); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.store.Counts = append(s.store.Counts, up.Count)
+	s.store.Sightings = append(s.store.Sightings, up.Sightings...)
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// Stats summarizes what the server has collected.
+type Stats struct {
+	Routers    int `json:"routers"`
+	Heartbeats int `json:"heartbeats"`
+	Uptime     int `json:"uptime"`
+	Capacity   int `json:"capacity"`
+	Counts     int `json:"device_counts"`
+	Sightings  int `json:"device_sightings"`
+	WiFi       int `json:"wifi_scans"`
+	Flows      int `json:"flows"`
+	Throughput int `json:"throughput_samples"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	st := Stats{
+		Routers:    len(s.store.RouterCountry),
+		Uptime:     len(s.store.Uptime),
+		Capacity:   len(s.store.Capacity),
+		Counts:     len(s.store.Counts),
+		Sightings:  len(s.store.Sightings),
+		WiFi:       len(s.store.WiFi),
+		Flows:      len(s.store.Flows),
+		Throughput: len(s.store.Throughput),
+	}
+	for _, id := range s.store.Heartbeats.Routers() {
+		st.Heartbeats += s.store.Heartbeats.Count(id)
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+// Client reports a gateway's measurements to a Server over the network.
+// It implements gateway.Sink.
+type Client struct {
+	routerID string
+	baseURL  string
+	hb       *heartbeat.Sender
+	httpc    *http.Client
+}
+
+// NewClient dials the server. udpAddr receives heartbeats, httpAddr the
+// uploads.
+func NewClient(routerID, country, udpAddr, httpAddr string) (*Client, error) {
+	hb, err := heartbeat.NewSender(routerID, udpAddr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		routerID: routerID,
+		baseURL:  "http://" + httpAddr,
+		hb:       hb,
+		httpc:    &http.Client{Timeout: 10 * time.Second},
+	}
+	if err := c.post("/v1/register", registerReq{RouterID: routerID, Country: country}); err != nil {
+		hb.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close releases the client's sockets.
+func (c *Client) Close() error { return c.hb.Close() }
+
+func (c *Client) post(path string, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpc.Post(c.baseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("collector: POST %s: %w", path, err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("collector: POST %s: status %d", path, resp.StatusCode)
+	}
+	return nil
+}
+
+// Heartbeat implements gateway.Sink. Errors are dropped by design —
+// heartbeats are fire-and-forget.
+func (c *Client) Heartbeat(_ string, at time.Time) { _ = c.hb.Send(at) }
+
+// UptimeReport implements gateway.Sink.
+func (c *Client) UptimeReport(r dataset.UptimeReport) { _ = c.post("/v1/uptime", r) }
+
+// CapacityMeasure implements gateway.Sink.
+func (c *Client) CapacityMeasure(m dataset.CapacityMeasure) { _ = c.post("/v1/capacity", m) }
+
+// DeviceCensus implements gateway.Sink.
+func (c *Client) DeviceCensus(count dataset.DeviceCount, sightings []dataset.DeviceSighting) {
+	_ = c.post("/v1/devices", censusUpload{Count: count, Sightings: sightings})
+}
+
+// WiFiScan implements gateway.Sink.
+func (c *Client) WiFiScan(scans []dataset.WiFiScan) { _ = c.post("/v1/wifi", scans) }
+
+// TrafficFlows implements gateway.Sink.
+func (c *Client) TrafficFlows(flows []dataset.FlowRecord) {
+	if len(flows) > 0 {
+		_ = c.post("/v1/traffic/flows", flows)
+	}
+}
+
+// TrafficThroughput implements gateway.Sink.
+func (c *Client) TrafficThroughput(samples []dataset.ThroughputSample) {
+	if len(samples) > 0 {
+		_ = c.post("/v1/traffic/throughput", samples)
+	}
+}

@@ -1,0 +1,156 @@
+package collector
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"natpeek/internal/dataset"
+	"natpeek/internal/mac"
+)
+
+var t0 = time.Date(2013, 4, 1, 0, 0, 0, 0, time.UTC)
+
+func startPair(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli, err := NewClient("router-1", "US", srv.UDPAddr(), srv.HTTPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return srv, cli
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestRegisterOnConnect(t *testing.T) {
+	srv, _ := startPair(t)
+	if srv.Store().RouterCountry["router-1"] != "US" {
+		t.Fatalf("roster = %v", srv.Store().RouterCountry)
+	}
+}
+
+func TestHeartbeatOverUDP(t *testing.T) {
+	srv, cli := startPair(t)
+	for i := 0; i < 3; i++ {
+		cli.Heartbeat("router-1", time.Now())
+	}
+	waitFor(t, func() bool { return srv.Store().Heartbeats.Count("router-1") >= 3 })
+}
+
+func TestUploadsLandInStore(t *testing.T) {
+	srv, cli := startPair(t)
+	cli.UptimeReport(dataset.UptimeReport{RouterID: "router-1", ReportedAt: t0, Uptime: time.Hour})
+	cli.CapacityMeasure(dataset.CapacityMeasure{RouterID: "router-1", MeasuredAt: t0, UpBps: 1e6, DownBps: 16e6})
+	cli.DeviceCensus(
+		dataset.DeviceCount{RouterID: "router-1", At: t0, Wired: 1, W24: 3, W5: 1},
+		[]dataset.DeviceSighting{{RouterID: "router-1", At: t0, Device: mac.MustParse("a4:b1:97:01:02:03"), Kind: dataset.Wireless24}},
+	)
+	cli.WiFiScan([]dataset.WiFiScan{{RouterID: "router-1", At: t0, Band: "2.4GHz", Channel: 11, VisibleAPs: 17}})
+	cli.TrafficFlows([]dataset.FlowRecord{{
+		RouterID: "router-1", Device: mac.MustParse("a4:b1:97:01:02:03"),
+		Domain: "netflix.com", Proto: "tcp", First: t0, Last: t0.Add(time.Hour),
+		UpBytes: 100, DownBytes: 1e6,
+	}})
+	cli.TrafficThroughput([]dataset.ThroughputSample{{
+		RouterID: "router-1", Minute: t0, Dir: "down", PeakBps: 12e6, TotalBytes: 9e7,
+	}})
+
+	st := srv.Store()
+	if len(st.Uptime) != 1 || st.Uptime[0].Uptime != time.Hour {
+		t.Fatalf("uptime %+v", st.Uptime)
+	}
+	if len(st.Capacity) != 1 || st.Capacity[0].DownBps != 16e6 {
+		t.Fatalf("capacity %+v", st.Capacity)
+	}
+	if len(st.Counts) != 1 || st.Counts[0].Total() != 5 {
+		t.Fatalf("counts %+v", st.Counts)
+	}
+	if len(st.Sightings) != 1 || st.Sightings[0].Device != mac.MustParse("a4:b1:97:01:02:03") {
+		t.Fatalf("sightings %+v", st.Sightings)
+	}
+	if len(st.WiFi) != 1 || st.WiFi[0].VisibleAPs != 17 {
+		t.Fatalf("wifi %+v", st.WiFi)
+	}
+	if len(st.Flows) != 1 || st.Flows[0].Domain != "netflix.com" {
+		t.Fatalf("flows %+v", st.Flows)
+	}
+	if len(st.Throughput) != 1 || st.Throughput[0].PeakBps != 12e6 {
+		t.Fatalf("throughput %+v", st.Throughput)
+	}
+}
+
+func TestEmptyTrafficUploadsSkipped(t *testing.T) {
+	srv, cli := startPair(t)
+	cli.TrafficFlows(nil)
+	cli.TrafficThroughput(nil)
+	if len(srv.Store().Flows) != 0 || len(srv.Store().Throughput) != 0 {
+		t.Fatal("empty uploads created rows")
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv, cli := startPair(t)
+	cli.UptimeReport(dataset.UptimeReport{RouterID: "router-1", ReportedAt: t0})
+	resp, err := http.Get("http://" + srv.HTTPAddr() + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Routers != 1 || st.Uptime != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestBadUploadsRejected(t *testing.T) {
+	srv, _ := startPair(t)
+	resp, err := http.Post("http://"+srv.HTTPAddr()+"/v1/uptime", "application/json",
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	// Register without an ID.
+	resp, err = http.Post("http://"+srv.HTTPAddr()+"/v1/register", "application/json",
+		strings.NewReader(`{"country":"US"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("register status = %d", resp.StatusCode)
+	}
+}
+
+func TestMACSurvivesJSONRoundTrip(t *testing.T) {
+	srv, cli := startPair(t)
+	hw := mac.MustParse("b0:a7:37:12:34:56")
+	cli.DeviceCensus(dataset.DeviceCount{RouterID: "router-1", At: t0},
+		[]dataset.DeviceSighting{{RouterID: "router-1", At: t0, Device: hw, Kind: dataset.Wired}})
+	if srv.Store().Sightings[0].Device != hw {
+		t.Fatalf("MAC mangled: %v", srv.Store().Sightings[0].Device)
+	}
+}

@@ -1,0 +1,124 @@
+package collector
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"natpeek/internal/dataset"
+)
+
+// The gateway must keep functioning when the collection server vanishes:
+// heartbeats are fire-and-forget and uploads drop their errors (§3.3
+// lists collection interruptions as a fact of life; the firmware never
+// let them take the router down).
+
+func TestClientSurvivesServerDeath(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewClient("r1", "US", srv.UDPAddr(), srv.HTTPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	srv.Close()
+
+	// None of these may panic or block; errors are swallowed by design.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		cli.Heartbeat("r1", time.Now())
+		cli.UptimeReport(dataset.UptimeReport{RouterID: "r1", ReportedAt: time.Now()})
+		cli.CapacityMeasure(dataset.CapacityMeasure{RouterID: "r1"})
+		cli.DeviceCensus(dataset.DeviceCount{RouterID: "r1"}, nil)
+		cli.WiFiScan([]dataset.WiFiScan{{RouterID: "r1"}})
+		cli.TrafficFlows([]dataset.FlowRecord{{RouterID: "r1"}})
+		cli.TrafficThroughput([]dataset.ThroughputSample{{RouterID: "r1"}})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("client blocked after server death")
+	}
+}
+
+func TestClientConnectFailsCleanly(t *testing.T) {
+	// Reserve a TCP port and close it so nothing is listening.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := NewClient("r1", "US", "127.0.0.1:1", addr); err == nil {
+		t.Fatal("connect to dead server succeeded")
+	}
+}
+
+func TestServerSurvivesDatagramFlood(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("udp", srv.UDPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Garbage of every size, including oversized datagrams.
+	for size := 0; size < 1500; size += 37 {
+		conn.Write(make([]byte, size))
+	}
+	// A valid client still works afterwards.
+	cli, err := NewClient("r-after", "US", srv.UDPAddr(), srv.HTTPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.Heartbeat("r-after", time.Now())
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Store().Heartbeats.Count("r-after") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server stopped accepting heartbeats after flood")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestConcurrentUploads(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const n = 8
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			cli, err := NewClient("rc", "US", srv.UDPAddr(), srv.HTTPAddr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			for j := 0; j < 20; j++ {
+				cli.UptimeReport(dataset.UptimeReport{RouterID: "rc", ReportedAt: time.Now()})
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(srv.Store().Uptime); got != n*20 {
+		t.Fatalf("uptime rows = %d, want %d (lost under concurrency)", got, n*20)
+	}
+}

@@ -1,0 +1,376 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"natpeek/internal/heartbeat"
+	"natpeek/internal/mac"
+)
+
+// File names used by Save/Load. One CSV per data set, mirroring the
+// public release layout the paper describes (§3.2: "we have released the
+// data collected from this study").
+const (
+	FileHeartbeats = "heartbeats.csv"
+	FileUptime     = "uptime.csv"
+	FileCapacity   = "capacity.csv"
+	FileCounts     = "devices_counts.csv"
+	FileSightings  = "devices_sightings.csv"
+	FileWiFi       = "wifi.csv"
+	FileFlows      = "traffic_flows.csv"
+	FileThroughput = "traffic_throughput.csv"
+	FileRoster     = "roster.csv"
+)
+
+const timeLayout = time.RFC3339Nano
+
+// Save writes every data set as CSV into dir (created if needed).
+func (s *Store) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	writers := []struct {
+		name string
+		fn   func(w *csv.Writer) error
+	}{
+		{FileRoster, s.writeRoster},
+		{FileHeartbeats, s.writeHeartbeats},
+		{FileUptime, s.writeUptime},
+		{FileCapacity, s.writeCapacity},
+		{FileCounts, s.writeCounts},
+		{FileSightings, s.writeSightings},
+		{FileWiFi, s.writeWiFi},
+		{FileFlows, s.writeFlows},
+		{FileThroughput, s.writeThroughput},
+	}
+	for _, wr := range writers {
+		if err := writeFile(filepath.Join(dir, wr.name), wr.fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, fn func(w *csv.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	w := csv.NewWriter(f)
+	if err := fn(w); err != nil {
+		f.Close()
+		return fmt.Errorf("dataset: write %s: %w", path, err)
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return fmt.Errorf("dataset: flush %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func (s *Store) writeRoster(w *csv.Writer) error {
+	if err := w.Write([]string{"router", "country"}); err != nil {
+		return err
+	}
+	for _, id := range s.Routers() {
+		if err := w.Write([]string{id, s.RouterCountry[id]}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHeartbeats persists the run-length encoding: expanding a fleet's
+// multi-month minute cadence to individual rows would be gigabytes.
+func (s *Store) writeHeartbeats(w *csv.Writer) error {
+	if err := w.Write([]string{"router", "start", "interval_sec", "count"}); err != nil {
+		return err
+	}
+	for _, id := range s.Heartbeats.Routers() {
+		for _, r := range s.Heartbeats.Runs(id) {
+			if err := w.Write([]string{id, r.Start.Format(timeLayout),
+				strconv.FormatFloat(r.Interval.Seconds(), 'f', 3, 64),
+				strconv.Itoa(r.Count)}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Store) writeUptime(w *csv.Writer) error {
+	if err := w.Write([]string{"router", "reported_at", "uptime_sec"}); err != nil {
+		return err
+	}
+	for _, r := range s.Uptime {
+		if err := w.Write([]string{r.RouterID, r.ReportedAt.Format(timeLayout),
+			strconv.FormatFloat(r.Uptime.Seconds(), 'f', 0, 64)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) writeCapacity(w *csv.Writer) error {
+	if err := w.Write([]string{"router", "measured_at", "up_bps", "down_bps"}); err != nil {
+		return err
+	}
+	for _, c := range s.Capacity {
+		if err := w.Write([]string{c.RouterID, c.MeasuredAt.Format(timeLayout),
+			strconv.FormatFloat(c.UpBps, 'f', 0, 64),
+			strconv.FormatFloat(c.DownBps, 'f', 0, 64)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) writeCounts(w *csv.Writer) error {
+	if err := w.Write([]string{"router", "at", "wired", "w24", "w5"}); err != nil {
+		return err
+	}
+	for _, c := range s.Counts {
+		if err := w.Write([]string{c.RouterID, c.At.Format(timeLayout),
+			strconv.Itoa(c.Wired), strconv.Itoa(c.W24), strconv.Itoa(c.W5)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) writeSightings(w *csv.Writer) error {
+	if err := w.Write([]string{"router", "at", "device", "kind"}); err != nil {
+		return err
+	}
+	for _, d := range s.Sightings {
+		if err := w.Write([]string{d.RouterID, d.At.Format(timeLayout),
+			d.Device.String(), d.Kind.String()}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) writeWiFi(w *csv.Writer) error {
+	if err := w.Write([]string{"router", "at", "band", "channel", "visible_aps", "clients"}); err != nil {
+		return err
+	}
+	for _, sc := range s.WiFi {
+		if err := w.Write([]string{sc.RouterID, sc.At.Format(timeLayout), sc.Band,
+			strconv.Itoa(sc.Channel), strconv.Itoa(sc.VisibleAPs), strconv.Itoa(sc.Clients)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) writeFlows(w *csv.Writer) error {
+	if err := w.Write([]string{"router", "device", "domain", "proto", "first", "last",
+		"up_bytes", "down_bytes", "up_pkts", "down_pkts", "conns"}); err != nil {
+		return err
+	}
+	for _, f := range s.Flows {
+		if err := w.Write([]string{f.RouterID, f.Device.String(), f.Domain, f.Proto,
+			f.First.Format(timeLayout), f.Last.Format(timeLayout),
+			strconv.FormatInt(f.UpBytes, 10), strconv.FormatInt(f.DownBytes, 10),
+			strconv.FormatInt(f.UpPkts, 10), strconv.FormatInt(f.DownPkts, 10),
+			strconv.FormatInt(f.Conns, 10)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) writeThroughput(w *csv.Writer) error {
+	if err := w.Write([]string{"router", "minute", "dir", "peak_bps", "total_bytes"}); err != nil {
+		return err
+	}
+	for _, t := range s.Throughput {
+		if err := w.Write([]string{t.RouterID, t.Minute.Format(timeLayout), t.Dir,
+			strconv.FormatFloat(t.PeakBps, 'f', 0, 64),
+			strconv.FormatInt(t.TotalBytes, 10)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads a directory written by Save.
+func Load(dir string) (*Store, error) {
+	s := NewStore()
+	loaders := []struct {
+		name string
+		fn   func(rec []string) error
+	}{
+		{FileRoster, func(r []string) error {
+			s.RouterCountry[r[0]] = r[1]
+			return nil
+		}},
+		{FileHeartbeats, func(r []string) error {
+			at, err := parseTime(r[1])
+			if err != nil {
+				return err
+			}
+			sec, err := strconv.ParseFloat(r[2], 64)
+			if err != nil {
+				return err
+			}
+			count, err := strconv.Atoi(r[3])
+			if err != nil {
+				return err
+			}
+			s.Heartbeats.RecordRun(r[0], heartbeat.Run{
+				Start: at, Interval: time.Duration(sec * float64(time.Second)), Count: count,
+			})
+			return nil
+		}},
+		{FileUptime, func(r []string) error {
+			at, err := parseTime(r[1])
+			if err != nil {
+				return err
+			}
+			sec, err := strconv.ParseFloat(r[2], 64)
+			if err != nil {
+				return err
+			}
+			s.Uptime = append(s.Uptime, UptimeReport{r[0], at, time.Duration(sec * float64(time.Second))})
+			return nil
+		}},
+		{FileCapacity, func(r []string) error {
+			at, err := parseTime(r[1])
+			if err != nil {
+				return err
+			}
+			up, err1 := strconv.ParseFloat(r[2], 64)
+			down, err2 := strconv.ParseFloat(r[3], 64)
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("bad capacity row %v", r)
+			}
+			s.Capacity = append(s.Capacity, CapacityMeasure{r[0], at, up, down})
+			return nil
+		}},
+		{FileCounts, func(r []string) error {
+			at, err := parseTime(r[1])
+			if err != nil {
+				return err
+			}
+			wired, _ := strconv.Atoi(r[2])
+			w24, _ := strconv.Atoi(r[3])
+			w5, _ := strconv.Atoi(r[4])
+			s.Counts = append(s.Counts, DeviceCount{r[0], at, wired, w24, w5})
+			return nil
+		}},
+		{FileSightings, func(r []string) error {
+			at, err := parseTime(r[1])
+			if err != nil {
+				return err
+			}
+			hw, err := mac.Parse(r[2])
+			if err != nil {
+				return err
+			}
+			s.Sightings = append(s.Sightings, DeviceSighting{r[0], at, hw, parseKind(r[3])})
+			return nil
+		}},
+		{FileWiFi, func(r []string) error {
+			at, err := parseTime(r[1])
+			if err != nil {
+				return err
+			}
+			ch, _ := strconv.Atoi(r[3])
+			aps, _ := strconv.Atoi(r[4])
+			cl, _ := strconv.Atoi(r[5])
+			s.WiFi = append(s.WiFi, WiFiScan{r[0], at, r[2], ch, aps, cl})
+			return nil
+		}},
+		{FileFlows, func(r []string) error {
+			first, err := parseTime(r[4])
+			if err != nil {
+				return err
+			}
+			last, err := parseTime(r[5])
+			if err != nil {
+				return err
+			}
+			hw, err := mac.Parse(r[1])
+			if err != nil {
+				return err
+			}
+			ub, _ := strconv.ParseInt(r[6], 10, 64)
+			db, _ := strconv.ParseInt(r[7], 10, 64)
+			up, _ := strconv.ParseInt(r[8], 10, 64)
+			dp, _ := strconv.ParseInt(r[9], 10, 64)
+			conns := int64(1)
+			if len(r) > 10 {
+				conns, _ = strconv.ParseInt(r[10], 10, 64)
+			}
+			s.Flows = append(s.Flows, FlowRecord{r[0], hw, r[2], r[3], first, last, ub, db, up, dp, conns})
+			return nil
+		}},
+		{FileThroughput, func(r []string) error {
+			at, err := parseTime(r[1])
+			if err != nil {
+				return err
+			}
+			peak, _ := strconv.ParseFloat(r[3], 64)
+			total, _ := strconv.ParseInt(r[4], 10, 64)
+			s.Throughput = append(s.Throughput, ThroughputSample{r[0], at, r[2], peak, total})
+			return nil
+		}},
+	}
+	for _, ld := range loaders {
+		if err := readFile(filepath.Join(dir, ld.name), ld.fn); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func readFile(path string, fn func(rec []string) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1
+	first := true
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("dataset: read %s: %w", path, err)
+		}
+		if first {
+			first = false // skip header
+			continue
+		}
+		if err := fn(rec); err != nil {
+			return fmt.Errorf("dataset: parse %s: %w", path, err)
+		}
+	}
+}
+
+func parseTime(s string) (time.Time, error) {
+	return time.Parse(timeLayout, s)
+}
+
+func parseKind(s string) ConnKind {
+	switch s {
+	case "wired":
+		return Wired
+	case "wifi2.4":
+		return Wireless24
+	default:
+		return Wireless5
+	}
+}

@@ -1,0 +1,306 @@
+// Package dns implements the subset of DNS the study's passive monitor
+// needs: building and parsing query/response messages carrying A and CNAME
+// records. The gateway sniffs DNS responses on port 53 to learn
+// IP→domain bindings ("We collect a sample of A and CNAME records",
+// §3.2.2); that mapping is what turns anonymous flow endpoints into the
+// domain rankings of Figs. 18–20.
+//
+// Parsing handles RFC 1035 name compression; encoding emits uncompressed
+// names for simplicity.
+package dns
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Record types supported.
+const (
+	TypeA     uint16 = 1
+	TypeCNAME uint16 = 5
+	TypeAAAA  uint16 = 28
+)
+
+// ClassIN is the Internet class.
+const ClassIN uint16 = 1
+
+// Errors returned by the parser.
+var (
+	ErrTruncated = errors.New("dns: truncated message")
+	ErrBadName   = errors.New("dns: malformed name")
+	ErrLoop      = errors.New("dns: compression loop")
+)
+
+// Question is a DNS question section entry.
+type Question struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// RR is a resource record. Only A, AAAA and CNAME carry decoded data:
+// A/AAAA fill Addr, CNAME fills Target.
+type RR struct {
+	Name   string
+	Type   uint16
+	Class  uint16
+	TTL    uint32
+	Addr   netip.Addr // TypeA / TypeAAAA
+	Target string     // TypeCNAME
+	Data   []byte     // other types, raw RDATA
+}
+
+// Message is a DNS message.
+type Message struct {
+	ID        uint16
+	Response  bool
+	RCode     uint8
+	Questions []Question
+	Answers   []RR
+}
+
+// NewQuery builds a single-question A query.
+func NewQuery(id uint16, name string, qtype uint16) *Message {
+	return &Message{ID: id, Questions: []Question{{Name: name, Type: qtype, Class: ClassIN}}}
+}
+
+// Answer appends an answer record and marks the message as a response.
+func (m *Message) Answer(rr RR) *Message {
+	m.Response = true
+	m.Answers = append(m.Answers, rr)
+	return m
+}
+
+// Marshal serializes the message.
+func (m *Message) Marshal() []byte {
+	b := make([]byte, 0, 64)
+	b = binary.BigEndian.AppendUint16(b, m.ID)
+	var flags uint16
+	if m.Response {
+		flags |= 1 << 15 // QR
+		flags |= 1 << 8  // RD (copied by resolvers)
+		flags |= 1 << 7  // RA
+	} else {
+		flags |= 1 << 8 // RD
+	}
+	flags |= uint16(m.RCode & 0x0f)
+	b = binary.BigEndian.AppendUint16(b, flags)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Questions)))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Answers)))
+	b = binary.BigEndian.AppendUint16(b, 0) // NS
+	b = binary.BigEndian.AppendUint16(b, 0) // AR
+	for _, q := range m.Questions {
+		b = appendName(b, q.Name)
+		b = binary.BigEndian.AppendUint16(b, q.Type)
+		b = binary.BigEndian.AppendUint16(b, q.Class)
+	}
+	for _, rr := range m.Answers {
+		b = appendName(b, rr.Name)
+		b = binary.BigEndian.AppendUint16(b, rr.Type)
+		b = binary.BigEndian.AppendUint16(b, rr.Class)
+		b = binary.BigEndian.AppendUint32(b, rr.TTL)
+		var rdata []byte
+		switch rr.Type {
+		case TypeA:
+			a4 := rr.Addr.As4()
+			rdata = a4[:]
+		case TypeAAAA:
+			a16 := rr.Addr.As16()
+			rdata = a16[:]
+		case TypeCNAME:
+			rdata = appendName(nil, rr.Target)
+		default:
+			rdata = rr.Data
+		}
+		b = binary.BigEndian.AppendUint16(b, uint16(len(rdata)))
+		b = append(b, rdata...)
+	}
+	return b
+}
+
+// Parse decodes a DNS message.
+func Parse(b []byte) (*Message, error) {
+	if len(b) < 12 {
+		return nil, fmt.Errorf("%w: header (%d bytes)", ErrTruncated, len(b))
+	}
+	m := &Message{ID: binary.BigEndian.Uint16(b[0:2])}
+	flags := binary.BigEndian.Uint16(b[2:4])
+	m.Response = flags&(1<<15) != 0
+	m.RCode = uint8(flags & 0x0f)
+	qd := int(binary.BigEndian.Uint16(b[4:6]))
+	an := int(binary.BigEndian.Uint16(b[6:8]))
+	off := 12
+	for i := 0; i < qd; i++ {
+		name, n, err := parseName(b, off)
+		if err != nil {
+			return nil, err
+		}
+		off = n
+		if off+4 > len(b) {
+			return nil, fmt.Errorf("%w: question %d", ErrTruncated, i)
+		}
+		m.Questions = append(m.Questions, Question{
+			Name:  name,
+			Type:  binary.BigEndian.Uint16(b[off : off+2]),
+			Class: binary.BigEndian.Uint16(b[off+2 : off+4]),
+		})
+		off += 4
+	}
+	for i := 0; i < an; i++ {
+		name, n, err := parseName(b, off)
+		if err != nil {
+			return nil, err
+		}
+		off = n
+		if off+10 > len(b) {
+			return nil, fmt.Errorf("%w: answer %d", ErrTruncated, i)
+		}
+		rr := RR{
+			Name:  name,
+			Type:  binary.BigEndian.Uint16(b[off : off+2]),
+			Class: binary.BigEndian.Uint16(b[off+2 : off+4]),
+			TTL:   binary.BigEndian.Uint32(b[off+4 : off+8]),
+		}
+		rdlen := int(binary.BigEndian.Uint16(b[off+8 : off+10]))
+		off += 10
+		if off+rdlen > len(b) {
+			return nil, fmt.Errorf("%w: rdata %d", ErrTruncated, i)
+		}
+		rdata := b[off : off+rdlen]
+		switch rr.Type {
+		case TypeA:
+			if rdlen != 4 {
+				return nil, fmt.Errorf("dns: A rdata length %d", rdlen)
+			}
+			rr.Addr = netip.AddrFrom4([4]byte(rdata))
+		case TypeAAAA:
+			if rdlen != 16 {
+				return nil, fmt.Errorf("dns: AAAA rdata length %d", rdlen)
+			}
+			rr.Addr = netip.AddrFrom16([16]byte(rdata))
+		case TypeCNAME:
+			t, _, err := parseName(b, off)
+			if err != nil {
+				return nil, err
+			}
+			rr.Target = t
+		default:
+			rr.Data = append([]byte(nil), rdata...)
+		}
+		off += rdlen
+		m.Answers = append(m.Answers, rr)
+	}
+	return m, nil
+}
+
+// appendName encodes a domain name in uncompressed label form.
+func appendName(b []byte, name string) []byte {
+	name = strings.TrimSuffix(name, ".")
+	if name != "" {
+		for _, label := range strings.Split(name, ".") {
+			if len(label) > 63 {
+				label = label[:63]
+			}
+			b = append(b, byte(len(label)))
+			b = append(b, label...)
+		}
+	}
+	return append(b, 0)
+}
+
+// parseName decodes a (possibly compressed) name starting at off and
+// returns the name plus the offset just past it in the original stream.
+func parseName(b []byte, off int) (string, int, error) {
+	var labels []string
+	jumped := false
+	end := off
+	hops := 0
+	for {
+		if off >= len(b) {
+			return "", 0, fmt.Errorf("%w: name at %d", ErrTruncated, off)
+		}
+		l := int(b[off])
+		switch {
+		case l == 0:
+			if !jumped {
+				end = off + 1
+			}
+			return strings.Join(labels, "."), end, nil
+		case l&0xc0 == 0xc0:
+			if off+1 >= len(b) {
+				return "", 0, fmt.Errorf("%w: pointer at %d", ErrTruncated, off)
+			}
+			if hops++; hops > 32 {
+				return "", 0, ErrLoop
+			}
+			ptr := int(binary.BigEndian.Uint16(b[off:off+2]) & 0x3fff)
+			if !jumped {
+				end = off + 2
+				jumped = true
+			}
+			if ptr >= off {
+				return "", 0, fmt.Errorf("%w: forward pointer", ErrBadName)
+			}
+			off = ptr
+		case l&0xc0 != 0:
+			return "", 0, fmt.Errorf("%w: label prefix %#x", ErrBadName, l)
+		default:
+			if off+1+l > len(b) {
+				return "", 0, fmt.Errorf("%w: label at %d", ErrTruncated, off)
+			}
+			labels = append(labels, string(b[off+1:off+1+l]))
+			if len(labels) > 128 {
+				return "", 0, ErrBadName
+			}
+			off += 1 + l
+		}
+	}
+}
+
+// Cache is a TTL-less DNS cache that remembers the most recent IP→domain
+// binding, following CNAME chains to the queried name. The gateway keeps
+// one per home; lookups attribute flow endpoints to domains.
+type Cache struct {
+	byAddr map[netip.Addr]string
+	limit  int
+}
+
+// NewCache returns a cache bounded to limit entries (oldest arbitrary-
+// evicted beyond that; the gateway's working set is tiny).
+func NewCache(limit int) *Cache {
+	if limit <= 0 {
+		limit = 4096
+	}
+	return &Cache{byAddr: make(map[netip.Addr]string), limit: limit}
+}
+
+// Observe records the bindings from a response message: every A/AAAA
+// answer maps its address to the original queried name (the first
+// question's name) so CNAME chains resolve to the user-visible domain.
+func (c *Cache) Observe(m *Message) {
+	if m == nil || !m.Response || len(m.Questions) == 0 {
+		return
+	}
+	qname := strings.ToLower(m.Questions[0].Name)
+	for _, rr := range m.Answers {
+		if rr.Type != TypeA && rr.Type != TypeAAAA {
+			continue
+		}
+		if len(c.byAddr) >= c.limit {
+			for k := range c.byAddr {
+				delete(c.byAddr, k)
+				break
+			}
+		}
+		c.byAddr[rr.Addr] = qname
+	}
+}
+
+// Domain returns the domain most recently resolved to addr, or "".
+func (c *Cache) Domain(addr netip.Addr) string { return c.byAddr[addr] }
+
+// Len returns the number of cached bindings.
+func (c *Cache) Len() int { return len(c.byAddr) }

@@ -1,0 +1,225 @@
+package dns
+
+import (
+	"encoding/binary"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := NewQuery(0x1234, "www.google.com", TypeA)
+	b := q.Marshal()
+	m, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ID != 0x1234 || m.Response {
+		t.Fatalf("header wrong: %+v", m)
+	}
+	if len(m.Questions) != 1 || m.Questions[0].Name != "www.google.com" || m.Questions[0].Type != TypeA {
+		t.Fatalf("question wrong: %+v", m.Questions)
+	}
+}
+
+func TestResponseRoundTripA(t *testing.T) {
+	addr := netip.MustParseAddr("173.194.43.36")
+	m := NewQuery(7, "google.com", TypeA).Answer(RR{
+		Name: "google.com", Type: TypeA, Class: ClassIN, TTL: 300, Addr: addr,
+	})
+	got, err := Parse(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Response || len(got.Answers) != 1 {
+		t.Fatalf("got %+v", got)
+	}
+	if got.Answers[0].Addr != addr || got.Answers[0].TTL != 300 {
+		t.Fatalf("answer %+v", got.Answers[0])
+	}
+}
+
+func TestResponseRoundTripCNAMEChain(t *testing.T) {
+	m := NewQuery(9, "www.netflix.com", TypeA)
+	m.Answer(RR{Name: "www.netflix.com", Type: TypeCNAME, Class: ClassIN, TTL: 60, Target: "edge.nflxvideo.net"})
+	m.Answer(RR{Name: "edge.nflxvideo.net", Type: TypeA, Class: ClassIN, TTL: 60, Addr: netip.MustParseAddr("198.38.96.1")})
+	got, err := Parse(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Answers) != 2 {
+		t.Fatalf("answers = %d", len(got.Answers))
+	}
+	if got.Answers[0].Target != "edge.nflxvideo.net" {
+		t.Fatalf("cname target %q", got.Answers[0].Target)
+	}
+}
+
+func TestAAAARoundTrip(t *testing.T) {
+	addr := netip.MustParseAddr("2607:f8b0::1")
+	m := NewQuery(1, "google.com", TypeAAAA).Answer(RR{Name: "google.com", Type: TypeAAAA, Class: ClassIN, Addr: addr})
+	got, err := Parse(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Answers[0].Addr != addr {
+		t.Fatalf("addr %v", got.Answers[0].Addr)
+	}
+}
+
+func TestUnknownTypeKeptRaw(t *testing.T) {
+	m := NewQuery(2, "example.com", 16 /* TXT */).Answer(RR{Name: "example.com", Type: 16, Class: ClassIN, Data: []byte{3, 'a', 'b', 'c'}})
+	got, err := Parse(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Answers[0].Data) != "\x03abc" {
+		t.Fatalf("raw data %v", got.Answers[0].Data)
+	}
+}
+
+func TestParseCompressedName(t *testing.T) {
+	// Hand-build a response with a compression pointer: answer name
+	// points back at the question name at offset 12.
+	var b []byte
+	b = binary.BigEndian.AppendUint16(b, 42)     // ID
+	b = binary.BigEndian.AppendUint16(b, 0x8180) // QR response
+	b = binary.BigEndian.AppendUint16(b, 1)      // QD
+	b = binary.BigEndian.AppendUint16(b, 1)      // AN
+	b = binary.BigEndian.AppendUint16(b, 0)
+	b = binary.BigEndian.AppendUint16(b, 0)
+	b = append(b, 6, 'g', 'o', 'o', 'g', 'l', 'e', 3, 'c', 'o', 'm', 0)
+	b = binary.BigEndian.AppendUint16(b, TypeA)
+	b = binary.BigEndian.AppendUint16(b, ClassIN)
+	b = append(b, 0xc0, 12) // pointer to offset 12
+	b = binary.BigEndian.AppendUint16(b, TypeA)
+	b = binary.BigEndian.AppendUint16(b, ClassIN)
+	b = binary.BigEndian.AppendUint32(b, 300)
+	b = binary.BigEndian.AppendUint16(b, 4)
+	b = append(b, 8, 8, 8, 8)
+	m, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Answers[0].Name != "google.com" {
+		t.Fatalf("compressed name = %q", m.Answers[0].Name)
+	}
+	if m.Answers[0].Addr != netip.MustParseAddr("8.8.8.8") {
+		t.Fatalf("addr = %v", m.Answers[0].Addr)
+	}
+}
+
+func TestParseRejectsPointerLoop(t *testing.T) {
+	var b []byte
+	b = binary.BigEndian.AppendUint16(b, 1)
+	b = binary.BigEndian.AppendUint16(b, 0x8180)
+	b = binary.BigEndian.AppendUint16(b, 1)
+	b = binary.BigEndian.AppendUint16(b, 0)
+	b = binary.BigEndian.AppendUint16(b, 0)
+	b = binary.BigEndian.AppendUint16(b, 0)
+	// Name is a pointer to itself.
+	b = append(b, 0xc0, 12)
+	b = binary.BigEndian.AppendUint16(b, TypeA)
+	b = binary.BigEndian.AppendUint16(b, ClassIN)
+	if _, err := Parse(b); err == nil {
+		t.Fatal("self-pointer accepted")
+	}
+}
+
+func TestParseTruncated(t *testing.T) {
+	q := NewQuery(3, "a.example.com", TypeA)
+	full := q.Marshal()
+	for n := 0; n < len(full); n++ {
+		if _, err := Parse(full[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestParseGarbageNeverPanics(t *testing.T) {
+	if err := quick.Check(func(raw []byte) bool {
+		Parse(raw)
+		return true
+	}, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNameRoundTripProperty(t *testing.T) {
+	names := []string{"google.com", "a.b.c.d.e.f", "x.io", "very-long-label-with-dashes.example.org"}
+	for _, n := range names {
+		b := appendName(nil, n)
+		got, end, err := parseName(b, 0)
+		if err != nil {
+			t.Fatalf("%q: %v", n, err)
+		}
+		if got != n {
+			t.Fatalf("%q -> %q", n, got)
+		}
+		if end != len(b) {
+			t.Fatalf("%q: end %d of %d", n, end, len(b))
+		}
+	}
+}
+
+func TestRootName(t *testing.T) {
+	b := appendName(nil, "")
+	got, _, err := parseName(b, 0)
+	if err != nil || got != "" {
+		t.Fatalf("root name: %q, %v", got, err)
+	}
+}
+
+func TestCacheObserveAndLookup(t *testing.T) {
+	c := NewCache(0)
+	addr := netip.MustParseAddr("198.38.96.1")
+	m := NewQuery(9, "WWW.Netflix.COM", TypeA)
+	m.Answer(RR{Name: "www.netflix.com", Type: TypeCNAME, Class: ClassIN, Target: "edge.nflxvideo.net"})
+	m.Answer(RR{Name: "edge.nflxvideo.net", Type: TypeA, Class: ClassIN, Addr: addr})
+	c.Observe(m)
+	// The *queried* (user-visible) name wins, lower-cased.
+	if got := c.Domain(addr); got != "www.netflix.com" {
+		t.Fatalf("Domain = %q", got)
+	}
+	if c.Domain(netip.MustParseAddr("1.2.3.4")) != "" {
+		t.Fatal("unknown addr resolved")
+	}
+}
+
+func TestCacheIgnoresQueriesAndEmpty(t *testing.T) {
+	c := NewCache(0)
+	c.Observe(nil)
+	c.Observe(NewQuery(1, "x.com", TypeA)) // not a response
+	resp := &Message{Response: true}       // no questions
+	resp.Answers = []RR{{Type: TypeA, Addr: netip.MustParseAddr("1.1.1.1")}}
+	c.Observe(resp)
+	if c.Len() != 0 {
+		t.Fatalf("cache grew to %d", c.Len())
+	}
+}
+
+func TestCacheBounded(t *testing.T) {
+	c := NewCache(10)
+	for i := 0; i < 100; i++ {
+		m := NewQuery(uint16(i), "site.example", TypeA)
+		m.Answer(RR{Name: "site.example", Type: TypeA, Class: ClassIN,
+			Addr: netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)})})
+		c.Observe(m)
+	}
+	if c.Len() > 10 {
+		t.Fatalf("cache exceeded limit: %d", c.Len())
+	}
+}
+
+func BenchmarkParseResponse(b *testing.B) {
+	m := NewQuery(9, "www.netflix.com", TypeA)
+	m.Answer(RR{Name: "www.netflix.com", Type: TypeCNAME, Class: ClassIN, Target: "edge.nflxvideo.net"})
+	m.Answer(RR{Name: "edge.nflxvideo.net", Type: TypeA, Class: ClassIN, Addr: netip.MustParseAddr("198.38.96.1")})
+	raw := m.Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package domains
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCountIs200(t *testing.T) {
+	if Count() != 200 {
+		t.Fatalf("whitelist has %d entries, paper used 200", Count())
+	}
+}
+
+func TestNoDuplicates(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, d := range All() {
+		if seen[d.Name] {
+			t.Fatalf("duplicate domain %q", d.Name)
+		}
+		seen[d.Name] = true
+	}
+}
+
+func TestEntriesWellFormed(t *testing.T) {
+	for _, d := range All() {
+		if d.Name == "" || d.Category == "" {
+			t.Fatalf("malformed entry %+v", d)
+		}
+		if d.Name != strings.ToLower(d.Name) {
+			t.Fatalf("domain %q not lower case", d.Name)
+		}
+		if !strings.Contains(d.Name, ".") {
+			t.Fatalf("domain %q has no dot", d.Name)
+		}
+	}
+}
+
+func TestRankOrder(t *testing.T) {
+	if Rank("google.com") != 1 {
+		t.Fatalf("google.com rank = %d", Rank("google.com"))
+	}
+	if Rank("facebook.com") != 2 {
+		t.Fatalf("facebook.com rank = %d", Rank("facebook.com"))
+	}
+	if Rank("youtube.com") != 3 {
+		t.Fatalf("youtube.com rank = %d", Rank("youtube.com"))
+	}
+	if Rank("not-a-real-site.example") != 0 {
+		t.Fatal("unlisted domain has a rank")
+	}
+}
+
+func TestSubdomainWhitelisting(t *testing.T) {
+	for in, want := range map[string]string{
+		"www.google.com":       "google.com",
+		"mail.google.com":      "google.com",
+		"a.b.c.netflix.com":    "netflix.com",
+		"GOOGLE.COM":           "google.com",
+		"google.com.":          "google.com",
+		"notgoogle.example":    "",
+		"com":                  "",
+		"evil-google.com.evil": "",
+	} {
+		if got := Whitelisted(in); got != want {
+			t.Errorf("Whitelisted(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestIsWhitelisted(t *testing.T) {
+	if !IsWhitelisted("hulu.com") || IsWhitelisted("example.test") {
+		t.Fatal("IsWhitelisted wrong")
+	}
+}
+
+func TestCategoryOf(t *testing.T) {
+	for in, want := range map[string]Category{
+		"netflix.com":       Streaming,
+		"cdn1.hulu.com":     Streaming,
+		"google.com":        Search,
+		"doubleclick.net":   Ads,
+		"dropbox.com":       Cloud,
+		"unknown-site.test": Other,
+	} {
+		if got := CategoryOf(in); got != want {
+			t.Errorf("CategoryOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStreamingDomainsPresent(t *testing.T) {
+	// Fig. 20 depends on these specific services being in the universe.
+	for _, d := range []string{"pandora.com", "hulu.com", "netflix.com", "youtube.com", "dropbox.com", "apple.com"} {
+		if !IsWhitelisted(d) {
+			t.Errorf("%q missing from whitelist", d)
+		}
+	}
+}
+
+func TestByCategory(t *testing.T) {
+	streams := ByCategory(Streaming)
+	if len(streams) < 10 {
+		t.Fatalf("only %d streaming domains", len(streams))
+	}
+	// Must be in rank order.
+	prev := 0
+	for _, d := range streams {
+		r := Rank(d.Name)
+		if r <= prev {
+			t.Fatal("ByCategory not rank ordered")
+		}
+		prev = r
+	}
+}
+
+func TestPopularDomainsOfFig18(t *testing.T) {
+	// "The most consistently popular domains on this list are as expected:
+	// Google, YouTube, Facebook, Amazon, Apple, and Twitter."
+	for _, d := range []string{"google.com", "youtube.com", "facebook.com", "amazon.com", "apple.com", "twitter.com"} {
+		r := Rank(d)
+		if r == 0 || r > 30 {
+			t.Errorf("%q rank %d, want a top-30 presence", d, r)
+		}
+	}
+}

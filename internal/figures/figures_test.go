@@ -1,0 +1,345 @@
+package figures
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"natpeek/internal/analysis"
+	"natpeek/internal/dataset"
+	"natpeek/internal/stats"
+	"natpeek/internal/world"
+)
+
+// The figure tests run one mid-scale deployment and verify the paper's
+// qualitative claims hold — this is the reproduction's core regression
+// suite. The world is built once and shared (read-only) across tests.
+var (
+	once    sync.Once
+	testW   *world.World
+	testWin Windows
+)
+
+func study(t *testing.T) (*dataset.Store, Windows) {
+	t.Helper()
+	once.Do(func() {
+		w := world.Build(world.Config{Seed: 7, Scale: 0.4, TrafficHomes: 10})
+		if err := w.Run(); err != nil {
+			panic(err)
+		}
+		testW = w
+		testWin = DefaultWindows()
+	})
+	return testW.Store, testWin
+}
+
+func TestAllReportsNonEmpty(t *testing.T) {
+	st, w := study(t)
+	reports := All(st, w)
+	if len(reports) != 21 {
+		t.Fatalf("exhibits = %d, want 21", len(reports))
+	}
+	for _, r := range reports {
+		if r.ID == "" || r.Title == "" {
+			t.Fatalf("malformed report %+v", r)
+		}
+		if len(r.Lines) == 0 {
+			t.Errorf("%s: no lines", r.ID)
+		}
+		s := r.String()
+		if !strings.Contains(s, r.ID) {
+			t.Errorf("%s: String() missing ID", r.ID)
+		}
+		if strings.Contains(s, "(no data)") || strings.Contains(s, "(no traffic data)") ||
+			strings.Contains(s, "(no device data)") || strings.Contains(s, "(no samples)") {
+			t.Errorf("%s: degenerate output:\n%s", r.ID, s)
+		}
+	}
+}
+
+func TestFig3DevelopedVsDeveloping(t *testing.T) {
+	st, w := study(t)
+	rates := analysis.DowntimesPerDayByGroup(st, w.Availability)
+	devMed := stats.Median(rates[analysis.Developed])
+	dvgMed := stats.Median(rates[analysis.Developing])
+	// Paper: developed median < 1/30 per day; developing > ~1/3 per day.
+	if devMed > 0.15 {
+		t.Fatalf("developed median %.3f/day too high", devMed)
+	}
+	if dvgMed < 0.3 {
+		t.Fatalf("developing median %.3f/day too low", dvgMed)
+	}
+	if dvgMed < 8*devMed {
+		t.Fatalf("group separation too weak: %.3f vs %.3f", devMed, dvgMed)
+	}
+}
+
+func TestFig4MedianDurationAboutHalfHour(t *testing.T) {
+	st, w := study(t)
+	durs := analysis.DowntimeDurationsByGroup(st, w.Availability)
+	all := append(append([]float64{}, durs[analysis.Developed]...), durs[analysis.Developing]...)
+	med := stats.Median(all) / 60
+	// Paper: ≈30 minutes.
+	if med < 12 || med > 90 {
+		t.Fatalf("median downtime %.1f min, want ≈30", med)
+	}
+	// Developing tail longer.
+	if stats.Quantile(durs[analysis.Developing], 0.9) <= stats.Quantile(durs[analysis.Developed], 0.9) {
+		t.Fatal("developing tail not longer")
+	}
+}
+
+func TestFig5PoorestCountriesWorst(t *testing.T) {
+	st, w := study(t)
+	pts := analysis.DowntimesByCountry(st, w.Availability, 3)
+	if len(pts) < 4 {
+		t.Fatalf("only %d countries with ≥3 routers", len(pts))
+	}
+	byCode := map[string]analysis.CountryDowntime{}
+	for _, p := range pts {
+		byCode[p.Code] = p
+	}
+	in, us := byCode["IN"], byCode["US"]
+	pk, ok := byCode["PK"]
+	if !ok {
+		t.Skip("PK below router threshold at this scale")
+	}
+	if in.MedianDowntimes <= us.MedianDowntimes || pk.MedianDowntimes <= us.MedianDowntimes {
+		t.Fatalf("IN/PK not worse than US: %v %v %v", in, pk, us)
+	}
+	days := w.Availability.To.Sub(w.Availability.From).Hours() / 24
+	pkPerDay := pk.MedianDowntimes / days
+	if pkPerDay < 0.8 || pkPerDay > 4 {
+		t.Fatalf("PK downtimes/day = %.2f, paper ≈2", pkPerDay)
+	}
+}
+
+func TestFig6UptimeMedians(t *testing.T) {
+	st, w := study(t)
+	us := analysis.MedianUptimeFraction(st, "US", w.Availability)
+	in := analysis.MedianUptimeFraction(st, "IN", w.Availability)
+	za := analysis.MedianUptimeFraction(st, "ZA", w.Availability)
+	if us < 0.95 {
+		t.Fatalf("US uptime %.3f (paper 0.9825)", us)
+	}
+	if in < 0.6 || in > 0.9 {
+		t.Fatalf("IN uptime %.3f (paper 0.7601)", in)
+	}
+	if za < 0.73 || za > 0.96 {
+		t.Fatalf("ZA uptime %.3f (paper 0.8557)", za)
+	}
+	if !(us > za && za > in) {
+		t.Fatalf("ordering broken: %.3f / %.3f / %.3f", us, za, in)
+	}
+}
+
+func TestFig6FindsAllThreeModes(t *testing.T) {
+	st, w := study(t)
+	r := Fig6(st, w)
+	out := r.String()
+	for _, m := range []string{"always-on", "appliance"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("mode %s missing from Fig 6 output", m)
+		}
+	}
+}
+
+func TestFig7DeviceCounts(t *testing.T) {
+	st, _ := study(t)
+	uniq := analysis.UniqueDevicesPerHome(st)
+	var xs []float64
+	atLeast5 := 0
+	for _, n := range uniq {
+		xs = append(xs, float64(n))
+		if n >= 5 {
+			atLeast5++
+		}
+	}
+	mean := stats.Mean(xs)
+	if mean < 4.5 || mean > 9.5 {
+		t.Fatalf("mean devices %.2f, paper ≈7", mean)
+	}
+	if frac := float64(atLeast5) / float64(len(xs)); frac < 0.5 {
+		t.Fatalf("share ≥5 devices %.2f, paper >0.5", frac)
+	}
+}
+
+func TestFig8WirelessDominatesAndDevelopedRicher(t *testing.T) {
+	st, _ := study(t)
+	byGroup := analysis.ConnectedByGroup(st)
+	dev, dvg := byGroup[analysis.Developed], byGroup[analysis.Developing]
+	if dev.Wireless.Mean <= dev.Wired.Mean || dvg.Wireless.Mean <= dvg.Wired.Mean {
+		t.Fatal("wireless does not dominate wired")
+	}
+	if dev.Wired.Mean+dev.Wireless.Mean <= dvg.Wired.Mean+dvg.Wireless.Mean {
+		t.Fatal("developed homes not richer in connected devices")
+	}
+	if dev.Wired.Mean <= dvg.Wired.Mean {
+		t.Fatal("wired gap not larger in developed")
+	}
+	// §5.2: average wired ports used < 1 in both groups.
+	if dev.Wired.Mean >= 2 || dvg.Wired.Mean >= 1 {
+		t.Fatalf("wired averages too high: %.2f / %.2f", dev.Wired.Mean, dvg.Wired.Mean)
+	}
+}
+
+func TestFig9Band24Dominates(t *testing.T) {
+	st, _ := study(t)
+	byGroup := analysis.ConnectedByGroup(st)
+	for g, a := range byGroup {
+		if a.W24.Mean <= a.W5.Mean {
+			t.Fatalf("%v: 2.4 GHz (%.2f) not above 5 GHz (%.2f)", g, a.W24.Mean, a.W5.Mean)
+		}
+	}
+}
+
+func TestTable5AlwaysConnected(t *testing.T) {
+	st, _ := study(t)
+	shares := analysis.AlwaysConnected(st, 35*24*3600*1e9)
+	dev := shares[analysis.Developed]
+	dvg := shares[analysis.Developing]
+	if dev.Homes == 0 || dvg.Homes == 0 {
+		t.Fatal("groups empty")
+	}
+	// Paper: 43%/20% developed, 12%/12% developing.
+	if dev.WiredShare < 0.2 || dev.WiredShare > 0.7 {
+		t.Fatalf("developed wired share %.2f, paper 0.43", dev.WiredShare)
+	}
+	if dvg.WiredShare >= dev.WiredShare {
+		t.Fatalf("developing wired share %.2f not below developed %.2f", dvg.WiredShare, dev.WiredShare)
+	}
+}
+
+func TestFig10BandMedians(t *testing.T) {
+	st, _ := study(t)
+	b24, b5 := analysis.UniqueDevicesPerBand(st)
+	m24, m5 := stats.Median(b24), stats.Median(b5)
+	if m24 < 3 || m24 > 8 {
+		t.Fatalf("2.4 GHz median %v, paper ≈5", m24)
+	}
+	if m5 > 3.5 {
+		t.Fatalf("5 GHz median %v, paper ≈2", m5)
+	}
+	if m24 <= m5 {
+		t.Fatal("band ordering broken")
+	}
+}
+
+func TestFig11APMediansByGroup(t *testing.T) {
+	st, _ := study(t)
+	byGroup := analysis.VisibleAPsByGroup(st)
+	devMed := stats.Median(byGroup[analysis.Developed])
+	dvgMed := stats.Median(byGroup[analysis.Developing])
+	if devMed < 8 || devMed > 32 {
+		t.Fatalf("developed AP median %v, paper ≈20", devMed)
+	}
+	if dvgMed > 6 {
+		t.Fatalf("developing AP median %v, paper ≈2", dvgMed)
+	}
+}
+
+func TestFig12AppleOnTop(t *testing.T) {
+	st, _ := study(t)
+	hist := analysis.ManufacturerHistogram(st, 100_000)
+	if len(hist) < 5 {
+		t.Fatalf("only %d manufacturer categories", len(hist))
+	}
+	// Paper: Apple most common; Netgear excluded entirely.
+	if hist[0].Category != "Apple" {
+		t.Fatalf("top category %v, paper says Apple", hist[0].Category)
+	}
+	for _, h := range hist {
+		if h.Category == "Gateway" && h.Devices > hist[0].Devices {
+			t.Fatal("gateway devices dominate — Netgear exclusion broken?")
+		}
+	}
+}
+
+func TestFig13WeekdayMoreDiurnal(t *testing.T) {
+	st, _ := study(t)
+	weekday, weekend := analysis.DiurnalDevices(st)
+	wd, we := weekday.PeakToTroughRatio(), weekend.PeakToTroughRatio()
+	if wd <= we {
+		t.Fatalf("weekday ratio %.2f not above weekend %.2f", wd, we)
+	}
+	if wd < 1.15 {
+		t.Fatalf("weekday barely diurnal: %.2f", wd)
+	}
+}
+
+func TestFig15MostHomesUnderHalf(t *testing.T) {
+	st, _ := study(t)
+	sats := analysis.Saturation(st)
+	if len(sats) == 0 {
+		t.Fatal("no saturation points")
+	}
+	var downUtils []float64
+	for _, s := range sats {
+		if s.Dir == "down" {
+			downUtils = append(downUtils, s.Utilization)
+		}
+	}
+	under := 0
+	for _, u := range downUtils {
+		if u < 0.5 {
+			under++
+		}
+	}
+	if frac := float64(under) / float64(len(downUtils)); frac < 0.5 {
+		t.Fatalf("only %.0f%% of homes under 50%% downlink utilization", frac*100)
+	}
+}
+
+func TestFig17DominantDevice(t *testing.T) {
+	st, _ := study(t)
+	top := analysis.MeanTopDeviceShare(st, 3)
+	if top < 0.45 || top > 0.85 {
+		t.Fatalf("mean top-device share %.2f, paper ≈0.60–0.65", top)
+	}
+}
+
+func TestFig18ExpectedDomainsPresent(t *testing.T) {
+	st, _ := study(t)
+	pop := analysis.PopularDomains(st)
+	names := map[string]bool{}
+	for _, p := range pop {
+		names[p.Domain] = true
+	}
+	hits := 0
+	for _, d := range []string{"google.com", "youtube.com", "facebook.com", "netflix.com", "hulu.com", "pandora.com"} {
+		if names[d] {
+			hits++
+		}
+	}
+	if hits < 2 {
+		t.Fatalf("only %d of the expected popular domains appear", hits)
+	}
+	if len(pop) < 15 {
+		t.Fatalf("domain tail too short: %d", len(pop))
+	}
+}
+
+func TestFig19VolumeVsConnections(t *testing.T) {
+	st, _ := study(t)
+	curves := analysis.DomainShares(st, 10)
+	top := curves.VolumeShare[0]
+	if top < 0.2 || top > 0.6 {
+		t.Fatalf("top domain volume share %.2f, paper ≈0.38", top)
+	}
+	if curves.ConnShareByVolRank[0] >= top {
+		t.Fatalf("top-by-volume conn share %.2f not below volume share %.2f",
+			curves.ConnShareByVolRank[0], top)
+	}
+	wl := analysis.WhitelistedVolumeShare(st)
+	if wl < 0.5 || wl > 0.8 {
+		t.Fatalf("whitelisted volume share %.2f, paper ≈0.65", wl)
+	}
+}
+
+func TestFig20DistinctFingerprints(t *testing.T) {
+	st, _ := study(t)
+	r := Fig20(st)
+	if len(r.Lines) < 2 {
+		t.Fatalf("need ≥2 device mixes, got %d", len(r.Lines))
+	}
+}

@@ -1,0 +1,473 @@
+// Package gateway implements the BISmark router agent: the piece of
+// firmware the paper deployed in 126 homes. The agent runs the full
+// measurement schedule of §3.2.2 —
+//
+//   - heartbeats to the collection server ≈ once a minute;
+//   - an uptime report every twelve hours;
+//   - a ShaperProbe capacity measurement every twelve hours;
+//   - an hourly census of wired and per-band wireless devices;
+//   - a WiFi neighbourhood scan every ten minutes, throttled when
+//     clients are associated (scans can knock clients off);
+//   - continuous passive capture of LAN traffic, anonymized before
+//     export, only in homes that consented (the Traffic subset).
+//
+// The agent is driven by a scheduler over a clock, so the identical code
+// runs against the simulated world (deterministic, fast-forwarded) and
+// against real sockets (cmd/bismark-gateway).
+package gateway
+
+import (
+	"net/netip"
+	"time"
+
+	"natpeek/internal/anonymize"
+	"natpeek/internal/capmgmt"
+	"natpeek/internal/capture"
+	"natpeek/internal/dataset"
+	"natpeek/internal/dhcp"
+	"natpeek/internal/eventsim"
+	"natpeek/internal/linksim"
+	"natpeek/internal/mac"
+	"natpeek/internal/nat"
+	"natpeek/internal/packet"
+	"natpeek/internal/shaperprobe"
+	"natpeek/internal/wifi"
+)
+
+// Sink receives everything the agent measures. The collector implements
+// it over HTTP/UDP; the world simulator implements it in memory.
+type Sink interface {
+	Heartbeat(routerID string, at time.Time)
+	UptimeReport(r dataset.UptimeReport)
+	CapacityMeasure(c dataset.CapacityMeasure)
+	DeviceCensus(c dataset.DeviceCount, sightings []dataset.DeviceSighting)
+	WiFiScan(scans []dataset.WiFiScan)
+	TrafficFlows(flows []dataset.FlowRecord)
+	TrafficThroughput(samples []dataset.ThroughputSample)
+}
+
+// Config tunes an agent.
+type Config struct {
+	ID        string
+	LANPrefix netip.Prefix
+	// AnonKey keys the privacy transforms; one key per study period.
+	AnonKey []byte
+	// TrafficConsent enables flow/throughput export (25 of the paper's
+	// homes). Without consent the agent still counts devices but exports
+	// no traffic detail.
+	TrafficConsent bool
+	// UserWhitelist extends the Alexa-200 domain whitelist.
+	UserWhitelist []string
+
+	// Measurement cadence (defaults: 1 min, 12 h, 1 h, 10 min).
+	HeartbeatEvery time.Duration
+	ReportEvery    time.Duration
+	CensusEvery    time.Duration
+	ScanEvery      time.Duration
+
+	// ScanThrottle divides the scan rate when clients are associated
+	// (default 3: scan every 30 min instead of every 10).
+	ScanThrottle int
+
+	// ProbeTrainLength configures ShaperProbe (default 100 packets).
+	ProbeTrainLength int
+
+	// Plan, when set, enables the uCap-style usage-cap manager (§3.1):
+	// every captured frame is charged to its device and threshold alerts
+	// surface through CapAlerts.
+	Plan *capmgmt.Plan
+}
+
+func (c *Config) fill() {
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = time.Minute
+	}
+	if c.ReportEvery <= 0 {
+		c.ReportEvery = 12 * time.Hour
+	}
+	if c.CensusEvery <= 0 {
+		c.CensusEvery = time.Hour
+	}
+	if c.ScanEvery <= 0 {
+		c.ScanEvery = 10 * time.Minute
+	}
+	if c.ScanThrottle <= 0 {
+		c.ScanThrottle = 3
+	}
+	if c.ProbeTrainLength <= 0 {
+		c.ProbeTrainLength = 100
+	}
+}
+
+// Env is the home environment the agent is plugged into.
+type Env struct {
+	// Link is the access link (nil when running over real sockets; the
+	// capacity probe is then skipped).
+	Link *linksim.Link
+	// Radio24/Radio5 are the two radios of the WNDR3800.
+	Radio24 *wifi.Radio
+	Radio5  *wifi.Radio
+	// DHCP is the LAN lease table.
+	DHCP *dhcp.Server
+	// NAT is the translation table on the forwarding path (required for
+	// ForwardUp/DeliverDown).
+	NAT *nat.Table
+
+	wired map[mac.Addr]bool
+}
+
+// AttachWired plugs a device into an Ethernet port.
+func (e *Env) AttachWired(hw mac.Addr) {
+	if e.wired == nil {
+		e.wired = make(map[mac.Addr]bool)
+	}
+	e.wired[hw] = true
+}
+
+// DetachWired unplugs a device.
+func (e *Env) DetachWired(hw mac.Addr) { delete(e.wired, hw) }
+
+// WiredCount returns the number of Ethernet-attached devices.
+func (e *Env) WiredCount() int { return len(e.wired) }
+
+// WiredDevices returns the Ethernet-attached devices (sorted).
+func (e *Env) WiredDevices() []mac.Addr {
+	out := make([]mac.Addr, 0, len(e.wired))
+	for hw := range e.wired {
+		out = append(out, hw)
+	}
+	sortMACs(out)
+	return out
+}
+
+func sortMACs(s []mac.Addr) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].String() < s[j-1].String(); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Agent is a running BISmark router.
+type Agent struct {
+	cfg  Config
+	sink Sink
+	env  *Env
+
+	anon    *anonymize.Policy
+	monitor *capture.Monitor
+
+	caps      *capmgmt.Manager
+	capAlerts []capmgmt.Alert
+
+	bootAt    time.Time
+	running   bool
+	tasks     []*eventsim.Task
+	scanSkips int
+
+	// exported watermark for incremental flow export
+	exportedFlows int
+}
+
+// New builds an agent.
+func New(cfg Config, sink Sink, env *Env) *Agent {
+	cfg.fill()
+	anon := anonymize.New(cfg.AnonKey)
+	return &Agent{
+		cfg:  cfg,
+		sink: sink,
+		env:  env,
+		anon: anon,
+		monitor: capture.New(capture.Config{
+			LANPrefix:     cfg.LANPrefix,
+			UserWhitelist: cfg.UserWhitelist,
+		}, anon),
+	}
+}
+
+// Anonymizer exposes the agent's privacy policy (the world uses it to
+// anonymize fast-path records identically).
+func (a *Agent) Anonymizer() *anonymize.Policy { return a.anon }
+
+// Running reports whether the router is powered on.
+func (a *Agent) Running() bool { return a.running }
+
+// BootedAt returns the boot time of the current power cycle.
+func (a *Agent) BootedAt() time.Time { return a.bootAt }
+
+// PowerOn boots the router and starts the measurement schedule on sched.
+func (a *Agent) PowerOn(sched *eventsim.Scheduler) {
+	if a.running {
+		return
+	}
+	a.running = true
+	a.bootAt = sched.Clock().Now()
+	if a.cfg.Plan != nil && a.caps == nil {
+		a.caps = capmgmt.New(*a.cfg.Plan, a.bootAt)
+	}
+
+	hb := sched.Every(a.cfg.HeartbeatEvery, 5*time.Second, func(now time.Time) {
+		a.sendHeartbeat(now)
+	})
+	census := sched.Every(a.cfg.CensusEvery, time.Minute, func(now time.Time) {
+		a.census(now)
+	})
+	scan := sched.Every(a.cfg.ScanEvery, 30*time.Second, func(now time.Time) {
+		a.scan(now)
+	})
+	report := sched.Every(a.cfg.ReportEvery, time.Minute, func(now time.Time) {
+		a.report(sched, now)
+	})
+	a.tasks = []*eventsim.Task{hb, census, scan, report}
+}
+
+// PowerOff shuts the router down, cancelling all scheduled work and
+// flushing consented traffic data (the real firmware persisted its
+// buffers to flash).
+func (a *Agent) PowerOff(now time.Time) {
+	if !a.running {
+		return
+	}
+	a.running = false
+	for _, t := range a.tasks {
+		t.Cancel()
+	}
+	a.tasks = nil
+	a.flushTraffic(now)
+}
+
+// sendHeartbeat emits one heartbeat unless the link is in outage (the
+// datagram would be lost in the access network).
+func (a *Agent) sendHeartbeat(now time.Time) {
+	if a.env.Link != nil && a.env.Link.Outage() {
+		return
+	}
+	a.sink.Heartbeat(a.cfg.ID, now)
+}
+
+// census counts attached devices per connection kind and reports
+// anonymized per-device sightings.
+func (a *Agent) census(now time.Time) {
+	count := dataset.DeviceCount{
+		RouterID: a.cfg.ID,
+		At:       now,
+		Wired:    a.env.WiredCount(),
+	}
+	var sightings []dataset.DeviceSighting
+	add := func(hw mac.Addr, kind dataset.ConnKind) {
+		sightings = append(sightings, dataset.DeviceSighting{
+			RouterID: a.cfg.ID, At: now, Device: a.anon.MAC(hw), Kind: kind,
+		})
+	}
+	for _, hw := range a.env.WiredDevices() {
+		add(hw, dataset.Wired)
+	}
+	if a.env.Radio24 != nil {
+		count.W24 = a.env.Radio24.ClientCount()
+		for _, hw := range a.env.Radio24.Clients() {
+			add(hw, dataset.Wireless24)
+		}
+	}
+	if a.env.Radio5 != nil {
+		count.W5 = a.env.Radio5.ClientCount()
+		for _, hw := range a.env.Radio5.Clients() {
+			add(hw, dataset.Wireless5)
+		}
+	}
+	a.sink.DeviceCensus(count, sightings)
+}
+
+// scan surveys both radios' channels, throttling when clients are
+// associated (the §3.2.2 disassociation side effect).
+func (a *Agent) scan(now time.Time) {
+	var scans []dataset.WiFiScan
+	for _, r := range []*wifi.Radio{a.env.Radio24, a.env.Radio5} {
+		if r == nil {
+			continue
+		}
+		if r.ClientCount() > 0 {
+			a.scanSkips++
+			if a.scanSkips%a.cfg.ScanThrottle != 0 {
+				continue
+			}
+		}
+		res := r.Scan()
+		scans = append(scans, dataset.WiFiScan{
+			RouterID:   a.cfg.ID,
+			At:         now,
+			Band:       r.Band.String(),
+			Channel:    res.Channel,
+			VisibleAPs: len(res.VisibleAPs),
+			Clients:    r.ClientCount(),
+		})
+	}
+	if len(scans) > 0 {
+		a.sink.WiFiScan(scans)
+	}
+}
+
+// report sends the 12-hourly uptime report, runs the capacity probe, and
+// flushes consented traffic data.
+func (a *Agent) report(sched *eventsim.Scheduler, now time.Time) {
+	a.sink.UptimeReport(dataset.UptimeReport{
+		RouterID:   a.cfg.ID,
+		ReportedAt: now,
+		Uptime:     now.Sub(a.bootAt),
+	})
+	if a.env.Link != nil && !a.env.Link.Outage() {
+		a.probeCapacity(sched, now)
+	}
+	a.flushTraffic(now)
+}
+
+// probeCapacity measures both directions with ShaperProbe.
+func (a *Agent) probeCapacity(sched *eventsim.Scheduler, now time.Time) {
+	cfg := shaperprobe.Config{TrainLength: a.cfg.ProbeTrainLength}
+	var up shaperprobe.Estimate
+	clk := sched.Clock()
+	shaperprobe.Probe(clk, a.env.Link.Up, cfg, func(e shaperprobe.Estimate) {
+		up = e
+		shaperprobe.Probe(clk, a.env.Link.Down, cfg, func(down shaperprobe.Estimate) {
+			a.sink.CapacityMeasure(dataset.CapacityMeasure{
+				RouterID:   a.cfg.ID,
+				MeasuredAt: now,
+				UpBps:      up.SustainedBps,
+				DownBps:    down.SustainedBps,
+			})
+		})
+	})
+}
+
+// CensusNow triggers one device census immediately. The fleet simulator
+// drives censuses from precomputed schedules through this entry point so
+// the exported rows go through the same code as the live agent's.
+func (a *Agent) CensusNow(now time.Time) { a.census(now) }
+
+// ScanNow triggers one WiFi scan pass immediately (throttling included).
+func (a *Agent) ScanNow(now time.Time) { a.scan(now) }
+
+// ReportUptimeNow emits one uptime report with an explicit boot time.
+func (a *Agent) ReportUptimeNow(now, bootedAt time.Time) {
+	a.sink.UptimeReport(dataset.UptimeReport{
+		RouterID:   a.cfg.ID,
+		ReportedAt: now,
+		Uptime:     now.Sub(bootedAt),
+	})
+}
+
+// HandleFrame feeds one LAN-side frame to the passive monitor and, when
+// a data plan is configured, charges it to the device's usage budget.
+func (a *Agent) HandleFrame(raw []byte, up bool, now time.Time) {
+	if !a.running {
+		return
+	}
+	dir := capture.Downstream
+	if up {
+		dir = capture.Upstream
+	}
+	a.monitor.Process(raw, dir, now)
+	if a.caps != nil {
+		if dev, ok := frameDevice(raw, up); ok {
+			alerts := a.caps.Record(a.anon.MAC(dev), int64(len(raw)), now)
+			a.capAlerts = append(a.capAlerts, alerts...)
+		}
+	}
+}
+
+// frameDevice extracts the LAN device MAC from a frame.
+func frameDevice(raw []byte, up bool) (mac.Addr, bool) {
+	var eth packet.Ethernet
+	if _, err := eth.Unmarshal(raw); err != nil {
+		return mac.Addr{}, false
+	}
+	if up {
+		return eth.Src, true
+	}
+	return eth.Dst, true
+}
+
+// CapManager exposes the usage-cap manager (nil when no plan is set).
+func (a *Agent) CapManager() *capmgmt.Manager { return a.caps }
+
+// CapAlerts drains the threshold alerts fired since the last call.
+func (a *Agent) CapAlerts() []capmgmt.Alert {
+	out := a.capAlerts
+	a.capAlerts = nil
+	return out
+}
+
+// Monitor exposes the passive monitor (read-only use in tests/examples).
+func (a *Agent) Monitor() *capture.Monitor { return a.monitor }
+
+// flushTraffic exports newly finished flow records and throughput
+// samples if the household consented.
+func (a *Agent) flushTraffic(now time.Time) {
+	if !a.cfg.TrafficConsent {
+		return
+	}
+	a.monitor.ExpireFlows(now)
+	flows := a.monitor.Flows()
+	if len(flows) > a.exportedFlows {
+		var recs []dataset.FlowRecord
+		for _, f := range flows[a.exportedFlows:] {
+			recs = append(recs, dataset.FlowRecord{
+				RouterID:  a.cfg.ID,
+				Device:    f.Key.Device,
+				Domain:    f.Domain,
+				Proto:     f.Key.Proto.String(),
+				First:     f.First,
+				Last:      f.Last,
+				UpBytes:   f.UpBytes,
+				DownBytes: f.DownBytes,
+				UpPkts:    f.UpPkts,
+				DownPkts:  f.DownPkts,
+				Conns:     1,
+			})
+		}
+		a.exportedFlows = len(flows)
+		a.sink.TrafficFlows(recs)
+	}
+	samples := a.aggregateThroughput()
+	if len(samples) > 0 {
+		a.sink.TrafficThroughput(samples)
+	}
+}
+
+// aggregateThroughput converts the monitor's per-second history into the
+// per-minute (peak, total) rows of the Traffic data set. The monitor's
+// history is consumed.
+func (a *Agent) aggregateThroughput() []dataset.ThroughputSample {
+	var out []dataset.ThroughputSample
+	for _, dir := range []capture.Dir{capture.Upstream, capture.Downstream} {
+		secs := a.monitor.TakeThroughput(dir)
+		if len(secs) == 0 {
+			continue
+		}
+		var cur time.Time
+		var peak, total int64
+		flush := func() {
+			if total > 0 {
+				out = append(out, dataset.ThroughputSample{
+					RouterID:   a.cfg.ID,
+					Minute:     cur,
+					Dir:        dir.String(),
+					PeakBps:    float64(peak * 8),
+					TotalBytes: total,
+				})
+			}
+		}
+		for _, s := range secs {
+			m := s.Second.Truncate(time.Minute)
+			if !m.Equal(cur) {
+				flush()
+				cur, peak, total = m, 0, 0
+			}
+			if s.Bytes > peak {
+				peak = s.Bytes
+			}
+			total += s.Bytes
+		}
+		flush()
+	}
+	return out
+}

@@ -1,0 +1,281 @@
+package household
+
+import (
+	"natpeek/internal/dataset"
+	"natpeek/internal/domains"
+	"natpeek/internal/mac"
+	"natpeek/internal/ouidb"
+	"natpeek/internal/rng"
+)
+
+// DeviceKind is the behavioural class of a home device. Kinds determine
+// connection type, always-on probability, diurnal presence, and which
+// domains the device talks to — the basis for the Fig. 20 fingerprinting
+// observation.
+type DeviceKind string
+
+// Device kinds present in the study's homes (Fig. 12 and §5.1's
+// discussion of consoles, media boxes, and phones).
+const (
+	KindDesktop  DeviceKind = "desktop"
+	KindLaptop   DeviceKind = "laptop"
+	KindPhone    DeviceKind = "phone"
+	KindTablet   DeviceKind = "tablet"
+	KindMediaBox DeviceKind = "mediabox" // Roku, Apple TV, TiVo
+	KindConsole  DeviceKind = "console"  // Xbox, PlayStation, Wii
+	KindPrinter  DeviceKind = "printer"
+	KindVoIP     DeviceKind = "voip"
+	KindNAS      DeviceKind = "nas"
+	KindIoT      DeviceKind = "iot" // thermostats, Raspberry Pis
+)
+
+// Device is one synthetic home device.
+type Device struct {
+	HW   mac.Addr
+	Kind DeviceKind
+	Conn dataset.ConnKind
+	// AlwaysOn devices stay connected whenever the router is up (media
+	// boxes, VoIP phones, NAS — Table 5's never-disconnecting devices).
+	AlwaysOn bool
+	// Presence is the probability the device is online during a given
+	// local hour, [weekday|weekend][hour]. Ignored when AlwaysOn.
+	Presence [2][24]float64
+	// VolumeWeight scales this device's share of home traffic; drawing
+	// these from a heavy-tailed distribution is what makes one device
+	// dominate (Fig. 17's ≈60–65% top share).
+	VolumeWeight float64
+	// CategoryPrefs weights the domain categories this device visits.
+	CategoryPrefs map[domains.Category]float64
+}
+
+// kindSpec is the per-kind generation template.
+type kindSpec struct {
+	manufacturers []string
+	wiredProb     float64 // probability of Ethernet attachment
+	dualBandProb  float64 // probability the device can use 5 GHz
+	alwaysOnProb  float64
+	volumeScale   float64 // mean of the volume-weight draw
+	prefs         map[domains.Category]float64
+	presence      presenceShape
+}
+
+type presenceShape int
+
+const (
+	presAlways   presenceShape = iota // near-constant when home
+	presEvening                       // strong evening peak (TVs, consoles)
+	presDaytime                       // working-hours shape (printers)
+	presPersonal                      // phone/laptop: evening peak, some night
+)
+
+var kindSpecs = map[DeviceKind]kindSpec{
+	KindDesktop: {
+		manufacturers: []string{"Apple", "Apple", "Hewlett-Packard", "Giga-Byte", "Intel"},
+		wiredProb:     0.65, dualBandProb: 0.2, alwaysOnProb: 0.25, volumeScale: 1.6,
+		prefs: map[domains.Category]float64{
+			domains.Search: 2, domains.Social: 2, domains.News: 1.5, domains.Streaming: 5,
+			domains.Cloud: 2.5, domains.Shopping: 1, domains.Tech: 1, domains.Ads: 1.5,
+		},
+		presence: presPersonal,
+	},
+	KindLaptop: {
+		manufacturers: []string{"Apple", "Apple", "Apple", "Intel", "Intel", "Compal", "Hon Hai Precision", "Quanta", "Wistron InfoComm", "Asus"},
+		wiredProb:     0.08, dualBandProb: 0.28, alwaysOnProb: 0.05, volumeScale: 1.3,
+		prefs: map[domains.Category]float64{
+			domains.Search: 2, domains.Social: 2.5, domains.Streaming: 8, domains.News: 1.5,
+			domains.Shopping: 1, domains.Cloud: 1, domains.Ads: 1.5, domains.Portal: 1,
+		},
+		presence: presPersonal,
+	},
+	KindPhone: {
+		manufacturers: []string{"Apple", "Apple", "Apple", "Samsung", "Samsung", "HTC", "LG Electronics", "Motorola", "Nokia", "Murata"},
+		wiredProb:     0, dualBandProb: 0.04, alwaysOnProb: 0.1, volumeScale: 0.5,
+		prefs: map[domains.Category]float64{
+			domains.Social: 3, domains.Streaming: 2.5, domains.Search: 1.5,
+			domains.Ads: 2, domains.Portal: 1,
+		},
+		presence: presAlways, // phones stay associated day and night
+	},
+	KindTablet: {
+		manufacturers: []string{"Apple", "Apple", "Apple", "Samsung", "AzureWave"},
+		wiredProb:     0, dualBandProb: 0.15, alwaysOnProb: 0.05, volumeScale: 0.8,
+		prefs: map[domains.Category]float64{
+			domains.Streaming: 8, domains.Social: 2, domains.Ads: 1.5, domains.Search: 1,
+		},
+		presence: presEvening,
+	},
+	KindMediaBox: {
+		manufacturers: []string{"Roku", "TiVo", "ASRock", "Apple"},
+		wiredProb:     0.5, dualBandProb: 0.25, alwaysOnProb: 0.85, volumeScale: 1.8,
+		prefs: map[domains.Category]float64{
+			domains.Streaming: 12, domains.Ads: 0.5, domains.CDN: 1,
+		},
+		presence: presEvening,
+	},
+	KindConsole: {
+		manufacturers: []string{"Microsoft", "Sony Computer Entertainment", "Nintendo", "Mitsumi"},
+		wiredProb:     0.55, dualBandProb: 0.12, alwaysOnProb: 0.3, volumeScale: 1.0,
+		prefs: map[domains.Category]float64{
+			domains.Gaming: 8, domains.Streaming: 3, domains.CDN: 1,
+		},
+		presence: presEvening,
+	},
+	KindPrinter: {
+		manufacturers: []string{"Epson", "Hewlett-Packard"},
+		wiredProb:     0.4, dualBandProb: 0, alwaysOnProb: 0.5, volumeScale: 0.02,
+		prefs: map[domains.Category]float64{
+			domains.Tech: 1,
+		},
+		presence: presDaytime,
+	},
+	KindVoIP: {
+		manufacturers: []string{"UniData", "Polycom"},
+		wiredProb:     0.3, dualBandProb: 0, alwaysOnProb: 0.9, volumeScale: 0.1,
+		prefs: map[domains.Category]float64{
+			domains.Other: 1, domains.Tech: 0.5,
+		},
+		presence: presAlways,
+	},
+	KindNAS: {
+		manufacturers: []string{"VMware", "Giga-Byte", "Hewlett-Packard"},
+		wiredProb:     0.9, dualBandProb: 0.08, alwaysOnProb: 0.9, volumeScale: 0.7,
+		prefs: map[domains.Category]float64{
+			domains.Cloud: 6, domains.Tech: 1,
+		},
+		presence: presAlways,
+	},
+	KindIoT: {
+		manufacturers: []string{"Raspberry-Pi", "Prolifix", "GainSpan", "Microchip", "Pegatron"},
+		wiredProb:     0.25, dualBandProb: 0, alwaysOnProb: 0.7, volumeScale: 0.05,
+		prefs: map[domains.Category]float64{
+			domains.Tech: 1, domains.Other: 1,
+		},
+		presence: presAlways,
+	},
+}
+
+// kindMix is the draw distribution of device kinds, per country group.
+// Developed homes skew toward consoles and media boxes ("we assume this
+// is because gaming consoles or entertainment devices are more common in
+// developed countries", §5.1).
+func kindMix(developed bool) ([]DeviceKind, []float64) {
+	kinds := []DeviceKind{
+		KindLaptop, KindPhone, KindDesktop, KindTablet, KindMediaBox,
+		KindConsole, KindPrinter, KindVoIP, KindNAS, KindIoT,
+	}
+	if developed {
+		return kinds, []float64{24, 26, 10, 9, 10, 8, 4, 2, 3, 4}
+	}
+	return kinds, []float64{22, 38, 14, 7, 3, 4, 3, 2, 1, 6}
+}
+
+// newDevice draws one device of the given kind.
+func newDevice(kind DeviceKind, developed bool, rnd *rng.Stream) *Device {
+	spec := kindSpecs[kind]
+	manu := spec.manufacturers[rnd.Intn(len(spec.manufacturers))]
+	ouis := ouidb.OUIsFor(manu)
+	oui := ouis[rnd.Intn(len(ouis))]
+	d := &Device{
+		HW:            mac.FromOUI(oui, uint32(rnd.Uint64()&0xffffff)),
+		Kind:          kind,
+		AlwaysOn:      rnd.Bool(spec.alwaysOnProb),
+		VolumeWeight:  rnd.Pareto(spec.volumeScale*0.3, 0.75),
+		CategoryPrefs: spec.prefs,
+	}
+	switch {
+	case rnd.Bool(spec.wiredProb):
+		d.Conn = dataset.Wired
+	case rnd.Bool(spec.dualBandProb):
+		d.Conn = dataset.Wireless5
+	default:
+		d.Conn = dataset.Wireless24
+	}
+	// Wireless "always-on" devices are much rarer than wired ones —
+	// Table 5 finds 43% of developed homes with an always-connected wired
+	// device but only 20% with a wireless one.
+	if d.Conn != dataset.Wired && d.AlwaysOn && rnd.Bool(0.7) {
+		d.AlwaysOn = false
+	}
+	// Developing-country homes power devices off when idle far more often
+	// (Table 5's 12% vs 43%/20%).
+	if !developed && d.AlwaysOn && rnd.Bool(0.65) {
+		d.AlwaysOn = false
+	}
+	d.Presence = presenceTable(spec.presence, rnd)
+	return d
+}
+
+// presenceTable builds the hourly online-probability profile. The shapes
+// are what Fig. 13 aggregates into: weekday evening peak with an
+// afternoon trough, flatter weekends, and only a shallow dip at night
+// ("cellular devices remain on at night, as opposed to laptops").
+func presenceTable(shape presenceShape, rnd *rng.Stream) [2][24]float64 {
+	var p [2][24]float64
+	jitter := func(v float64) float64 {
+		v *= rnd.Range(0.85, 1.15)
+		if v > 1 {
+			v = 1
+		}
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+	for h := 0; h < 24; h++ {
+		var wd, we float64
+		switch shape {
+		case presAlways:
+			wd, we = 0.92, 0.92
+			if h >= 2 && h <= 5 {
+				wd, we = 0.85, 0.85
+			}
+		case presEvening:
+			switch {
+			case h >= 18 && h <= 22:
+				wd = 0.75
+			case h >= 7 && h <= 9:
+				wd = 0.25
+			case h >= 10 && h <= 16:
+				wd = 0.15
+			case h >= 23 || h <= 1:
+				wd = 0.3
+			default:
+				wd = 0.1
+			}
+			switch {
+			case h >= 10 && h <= 22:
+				we = 0.55
+			case h >= 23 || h <= 1:
+				we = 0.35
+			default:
+				we = 0.12
+			}
+		case presDaytime:
+			if h >= 9 && h <= 18 {
+				wd, we = 0.5, 0.45
+			} else {
+				wd, we = 0.15, 0.15
+			}
+		case presPersonal:
+			switch {
+			case h >= 18 && h <= 23:
+				wd = 0.7
+			case h >= 6 && h <= 8:
+				wd = 0.45
+			case h >= 9 && h <= 16:
+				wd = 0.3 // at work/school
+			default:
+				wd = 0.25
+			}
+			switch {
+			case h >= 9 && h <= 23:
+				we = 0.6
+			default:
+				we = 0.3
+			}
+		}
+		p[0][h] = jitter(wd)
+		p[1][h] = jitter(we)
+	}
+	return p
+}

@@ -1,0 +1,427 @@
+package household
+
+import (
+	"testing"
+	"time"
+
+	"natpeek/internal/dataset"
+	"natpeek/internal/geo"
+	"natpeek/internal/heartbeat"
+	"natpeek/internal/rng"
+	"natpeek/internal/stats"
+)
+
+var (
+	root    = rng.New(42)
+	hFrom   = time.Date(2012, 10, 1, 0, 0, 0, 0, time.UTC)
+	hTo     = time.Date(2012, 12, 1, 0, 0, 0, 0, time.UTC) // 2 months for speed
+	country = func(code string) geo.Country {
+		c, ok := geo.Lookup(code)
+		if !ok {
+			panic(code)
+		}
+		return c
+	}
+)
+
+func genMany(code string, n int) []*Profile {
+	out := make([]*Profile, n)
+	for i := range out {
+		out[i] = Generate(country(code), i, root)
+	}
+	return out
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(country("US"), 3, rng.New(42))
+	b := Generate(country("US"), 3, rng.New(42))
+	if a.ID != b.ID || len(a.Devices) != len(b.Devices) || a.DownBps != b.DownBps {
+		t.Fatal("generation not deterministic")
+	}
+	for i := range a.Devices {
+		if a.Devices[i].HW != b.Devices[i].HW || a.Devices[i].Kind != b.Devices[i].Kind {
+			t.Fatalf("device %d differs", i)
+		}
+	}
+	ivA := a.PowerOnIntervals(hFrom, hTo)
+	ivB := b.PowerOnIntervals(hFrom, hTo)
+	if len(ivA) != len(ivB) {
+		t.Fatal("power intervals not deterministic")
+	}
+}
+
+func TestGenerationStableUnderSiblings(t *testing.T) {
+	// Generating home 5 must be identical whether or not homes 0–4 were
+	// generated first (the splittable-stream property).
+	fresh := Generate(country("IN"), 5, rng.New(42))
+	r := rng.New(42)
+	for i := 0; i < 5; i++ {
+		Generate(country("IN"), i, r)
+	}
+	after := Generate(country("IN"), 5, r)
+	if fresh.DownBps != after.DownBps || len(fresh.Devices) != len(after.Devices) {
+		t.Fatal("sibling generation perturbed the draw")
+	}
+}
+
+func TestPowerIntervalsIdempotent(t *testing.T) {
+	p := Generate(country("CN"), 1, root)
+	a := p.PowerOnIntervals(hFrom, hTo)
+	b := p.PowerOnIntervals(hFrom, hTo)
+	if len(a) != len(b) {
+		t.Fatal("not idempotent")
+	}
+	for i := range a {
+		if !a[i].Start.Equal(b[i].Start) || !a[i].End.Equal(b[i].End) {
+			t.Fatal("intervals differ between calls")
+		}
+	}
+}
+
+func TestIntervalsSortedAndInWindow(t *testing.T) {
+	for _, code := range []string{"US", "IN", "CN", "PK"} {
+		for i := 0; i < 10; i++ {
+			p := Generate(country(code), i, root)
+			for _, ivs := range [][]Interval{
+				p.PowerOnIntervals(hFrom, hTo),
+				p.ISPOutageIntervals(hFrom, hTo),
+				p.OnlineIntervals(hFrom, hTo),
+			} {
+				prev := hFrom
+				for _, iv := range ivs {
+					if iv.Start.Before(prev) || !iv.End.After(iv.Start) || iv.End.After(hTo) {
+						t.Fatalf("%s/%d: bad interval %v", code, i, iv)
+					}
+					prev = iv.End
+				}
+			}
+		}
+	}
+}
+
+// uptimeFraction simulates the §4.2 uptime statistic for one home.
+func uptimeFraction(p *Profile) float64 {
+	on := p.OnlineIntervals(hFrom, hTo)
+	return float64(TotalDuration(on)) / float64(hTo.Sub(hFrom))
+}
+
+func medianUptime(code string, n int) float64 {
+	var ups []float64
+	for i := 0; i < n; i++ {
+		ups = append(ups, uptimeFraction(Generate(country(code), i, root)))
+	}
+	return stats.Median(ups)
+}
+
+func TestUptimeCalibrationUS(t *testing.T) {
+	got := medianUptime("US", 40)
+	// Paper: 98.25%. Accept a band.
+	if got < 0.955 || got > 0.999 {
+		t.Fatalf("US median uptime = %.4f, want ≈0.98", got)
+	}
+}
+
+func TestUptimeCalibrationIndia(t *testing.T) {
+	got := medianUptime("IN", 40)
+	// Paper: 76.01%.
+	if got < 0.62 || got > 0.88 {
+		t.Fatalf("IN median uptime = %.4f, want ≈0.76", got)
+	}
+}
+
+func TestUptimeCalibrationSouthAfrica(t *testing.T) {
+	got := medianUptime("ZA", 40)
+	// Paper: 85.57%.
+	if got < 0.75 || got > 0.95 {
+		t.Fatalf("ZA median uptime = %.4f, want ≈0.86", got)
+	}
+}
+
+func TestUptimeOrdering(t *testing.T) {
+	us := medianUptime("US", 30)
+	za := medianUptime("ZA", 30)
+	in := medianUptime("IN", 30)
+	if !(us > za && za > in) {
+		t.Fatalf("uptime ordering violated: US %.3f ZA %.3f IN %.3f", us, za, in)
+	}
+}
+
+// downtimesPerDay counts gaps >10 min the way the heartbeat analysis does.
+func downtimesPerDay(p *Profile) float64 {
+	online := p.OnlineIntervals(hFrom, hTo)
+	// Convert to synthetic heartbeat minutes: use interval edges directly
+	// via GapsIn on interval-start beacons — cheaper: count gaps between
+	// online intervals longer than 10 min.
+	days := hTo.Sub(hFrom).Hours() / 24
+	gaps := 0
+	prevEnd := hFrom
+	for _, iv := range online {
+		if iv.Start.Sub(prevEnd) > 10*time.Minute {
+			gaps++
+		}
+		prevEnd = iv.End
+	}
+	if hTo.Sub(prevEnd) > 10*time.Minute {
+		gaps++
+	}
+	return float64(gaps) / days
+}
+
+func TestDowntimeFrequencyCalibration(t *testing.T) {
+	med := func(code string, n int) float64 {
+		var xs []float64
+		for i := 0; i < n; i++ {
+			xs = append(xs, downtimesPerDay(Generate(country(code), i, root)))
+		}
+		return stats.Median(xs)
+	}
+	us := med("US", 40)
+	in := med("IN", 40)
+	pk := med("PK", 40)
+	// Paper: developed median time between downtimes > 1 month
+	// (≲0.033/day); developing < 1 day (≳0.4/day); Pakistan ≈2/day.
+	if us > 0.12 {
+		t.Fatalf("US downtimes/day = %.3f, want <0.12", us)
+	}
+	if in < 0.4 {
+		t.Fatalf("IN downtimes/day = %.3f, want >0.4", in)
+	}
+	if pk < 1.0 || pk > 3.5 {
+		t.Fatalf("PK downtimes/day = %.3f, want ≈2", pk)
+	}
+	if !(pk > in && in > us) {
+		t.Fatalf("ordering violated: PK %.2f IN %.2f US %.2f", pk, in, us)
+	}
+}
+
+func TestApplianceHomeIsOffAtNight(t *testing.T) {
+	// Find an appliance-mode Chinese home and check the Fig. 6b shape.
+	var p *Profile
+	for i := 0; i < 50; i++ {
+		c := Generate(country("CN"), i, root)
+		if c.Appliance {
+			p = c
+			break
+		}
+	}
+	if p == nil {
+		t.Fatal("no appliance home in 50 CN draws (prob 0.5 each)")
+	}
+	on := p.PowerOnIntervals(hFrom, hFrom.Add(14*24*time.Hour))
+	frac := float64(TotalDuration(on)) / float64(14*24*time.Hour)
+	if frac < 0.08 || frac > 0.5 {
+		t.Fatalf("appliance on-fraction = %.3f, want evening-only (~0.15–0.4)", frac)
+	}
+	// Off at 4am local every day.
+	for d := 0; d < 14; d++ {
+		at := hFrom.Add(time.Duration(d)*24*time.Hour + 4*time.Hour).Add(-p.Country.UTCOffset)
+		if CoveredAt(on, at) {
+			t.Fatalf("appliance router on at 4am local (day %d)", d)
+		}
+	}
+}
+
+func TestDeviceCountDistribution(t *testing.T) {
+	var counts []float64
+	atLeast5 := 0
+	n := 300
+	for i := 0; i < n; i++ {
+		p := Generate(country("US"), i, root)
+		counts = append(counts, float64(len(p.Devices)))
+		if len(p.Devices) >= 5 {
+			atLeast5++
+		}
+	}
+	mean := stats.Mean(counts)
+	// Paper: average ≈7, more than half with ≥5.
+	if mean < 5.5 || mean > 9 {
+		t.Fatalf("mean devices = %.2f, want ≈7", mean)
+	}
+	if frac := float64(atLeast5) / float64(n); frac < 0.5 || frac > 0.9 {
+		t.Fatalf("frac ≥5 devices = %.2f, want >0.5", frac)
+	}
+}
+
+func TestDevelopedHomesHaveMoreDevices(t *testing.T) {
+	devSum, dvgSum := 0, 0
+	n := 200
+	for i := 0; i < n; i++ {
+		devSum += len(Generate(country("US"), i, root).Devices)
+		dvgSum += len(Generate(country("IN"), i, root).Devices)
+	}
+	if devSum <= dvgSum {
+		t.Fatalf("developed %d ≤ developing %d total devices", devSum, dvgSum)
+	}
+}
+
+func TestWirelessOutnumbersWired(t *testing.T) {
+	wired, wireless := 0, 0
+	for i := 0; i < 200; i++ {
+		for _, d := range Generate(country("US"), i, root).Devices {
+			if d.Conn == dataset.Wired {
+				wired++
+			} else {
+				wireless++
+			}
+		}
+	}
+	if wireless <= wired {
+		t.Fatalf("wired %d ≥ wireless %d", wired, wireless)
+	}
+}
+
+func TestBand24OutnumbersBand5(t *testing.T) {
+	b24, b5 := 0, 0
+	for i := 0; i < 200; i++ {
+		for _, d := range Generate(country("US"), i, root).Devices {
+			switch d.Conn {
+			case dataset.Wireless24:
+				b24++
+			case dataset.Wireless5:
+				b5++
+			}
+		}
+	}
+	if b24 <= 2*b5 {
+		t.Fatalf("2.4 GHz %d not ≫ 5 GHz %d", b24, b5)
+	}
+}
+
+func TestAlwaysConnectedRates(t *testing.T) {
+	frac := func(code string, kind dataset.ConnKind) float64 {
+		homes := 0
+		n := 200
+		for i := 0; i < n; i++ {
+			p := Generate(country(code), i, root)
+			for _, d := range p.Devices {
+				wired := d.Conn == dataset.Wired
+				if d.AlwaysOn && ((kind == dataset.Wired) == wired) {
+					homes++
+					break
+				}
+			}
+		}
+		return float64(homes) / float64(n)
+	}
+	devWired := frac("US", dataset.Wired)
+	dvgWired := frac("IN", dataset.Wired)
+	// Paper Table 5: developed 43% wired / 20% wireless; developing 12%/12%.
+	if devWired < 0.25 || devWired > 0.65 {
+		t.Fatalf("developed always-on-wired = %.2f, want ≈0.43", devWired)
+	}
+	if dvgWired > devWired/2 {
+		t.Fatalf("developing always-on-wired %.2f not ≪ developed %.2f", dvgWired, devWired)
+	}
+}
+
+func TestNeighborhoodCalibration(t *testing.T) {
+	var dev, dvg []float64
+	for i := 0; i < 200; i++ {
+		dev = append(dev, float64(Generate(country("US"), i, root).NeighborAPs24))
+		dvg = append(dvg, float64(Generate(country("IN"), i, root).NeighborAPs24))
+	}
+	devMed, dvgMed := stats.Median(dev), stats.Median(dvg)
+	// Paper: developed median ≈20 visible APs; developing ≈2.
+	if devMed < 10 || devMed > 30 {
+		t.Fatalf("developed median APs = %v, want ≈20", devMed)
+	}
+	if dvgMed > 6 {
+		t.Fatalf("developing median APs = %v, want ≈2", dvgMed)
+	}
+}
+
+func TestLinkTiers(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		p := Generate(country("US"), i, root)
+		if p.UpBps > p.DownBps {
+			t.Fatal("uplink faster than downlink")
+		}
+		if p.DownBps <= 0 || p.UpBps < 64e3 {
+			t.Fatalf("degenerate link %v/%v", p.UpBps, p.DownBps)
+		}
+		if p.BufferUpBytes <= 0 {
+			t.Fatal("no uplink buffer")
+		}
+	}
+}
+
+func TestDeviceOnlineStableWithinHour(t *testing.T) {
+	p := Generate(country("US"), 0, root)
+	var d *Device
+	for _, dd := range p.Devices {
+		if !dd.AlwaysOn {
+			d = dd
+			break
+		}
+	}
+	if d == nil {
+		t.Skip("all devices always-on in this draw")
+	}
+	at := hFrom.Add(19 * time.Hour)
+	first := p.DeviceOnline(d, at)
+	for m := 0; m < 60; m += 7 {
+		if p.DeviceOnline(d, at.Add(time.Duration(m)*time.Minute)) != first {
+			t.Fatal("presence flapped within the hour")
+		}
+	}
+}
+
+func TestAlwaysOnDeviceAlwaysOnline(t *testing.T) {
+	p := Generate(country("US"), 1, root)
+	for _, d := range p.Devices {
+		if !d.AlwaysOn {
+			continue
+		}
+		for h := 0; h < 48; h++ {
+			if !p.DeviceOnline(d, hFrom.Add(time.Duration(h)*time.Hour)) {
+				t.Fatal("always-on device went offline")
+			}
+		}
+		return
+	}
+	t.Skip("no always-on device in this draw")
+}
+
+func TestEveningPeakPresence(t *testing.T) {
+	// Aggregate weekday presence must peak in the evening vs afternoon
+	// (Fig. 13a).
+	evening, afternoon := 0, 0
+	for i := 0; i < 60; i++ {
+		p := Generate(country("US"), i, root)
+		// A Tuesday.
+		day := time.Date(2012, 10, 2, 0, 0, 0, 0, time.UTC).Add(-p.Country.UTCOffset)
+		for _, d := range p.Devices {
+			if p.DeviceOnline(d, day.Add(20*time.Hour)) {
+				evening++
+			}
+			if p.DeviceOnline(d, day.Add(14*time.Hour)) {
+				afternoon++
+			}
+		}
+	}
+	if evening <= afternoon {
+		t.Fatalf("evening %d ≤ afternoon %d", evening, afternoon)
+	}
+}
+
+func TestOnlineIntervalsFeedHeartbeatAnalysis(t *testing.T) {
+	// End-to-end sanity: intervals → synthetic heartbeats → gap analysis
+	// agrees with interval math.
+	p := Generate(country("IN"), 2, root)
+	to := hFrom.Add(14 * 24 * time.Hour)
+	online := p.OnlineIntervals(hFrom, to)
+	var beats []time.Time
+	for _, iv := range online {
+		for t := iv.Start; t.Before(iv.End); t = t.Add(heartbeat.Interval) {
+			beats = append(beats, t)
+		}
+	}
+	gaps := heartbeat.GapsIn(beats, hFrom, to, heartbeat.DefaultGapThreshold)
+	// Every gap must correspond to real offline time.
+	for _, g := range gaps {
+		mid := g.Start.Add(g.Duration() / 2)
+		if CoveredAt(online, mid) && g.Duration() > 12*time.Minute {
+			t.Fatalf("gap %v–%v overlaps online time", g.Start, g.End)
+		}
+	}
+}

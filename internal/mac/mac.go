@@ -1,0 +1,126 @@
+// Package mac implements the MAC-address handling the paper's data
+// pipeline relies on: parsing/formatting, OUI (top-24-bit) extraction for
+// manufacturer lookup, and the privacy transform the study applied —
+// "anonymize the lower half of each address, which allows us to identify
+// manufacturers without identifying specific devices" (§3.2.2).
+package mac
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Addr is a 48-bit MAC address.
+type Addr [6]byte
+
+// Parse parses a MAC address in colon- or dash-separated hex form.
+func Parse(s string) (Addr, error) {
+	var a Addr
+	norm := strings.NewReplacer("-", ":", ".", ":").Replace(strings.TrimSpace(s))
+	parts := strings.Split(norm, ":")
+	if len(parts) != 6 {
+		return a, fmt.Errorf("mac: %q: want 6 octets, got %d", s, len(parts))
+	}
+	for i, p := range parts {
+		var b byte
+		if _, err := fmt.Sscanf(p, "%02x", &b); err != nil || len(p) != 2 {
+			return a, fmt.Errorf("mac: %q: bad octet %q", s, p)
+		}
+		a[i] = b
+	}
+	return a, nil
+}
+
+// MustParse parses s or panics. For tests and embedded tables.
+func MustParse(s string) Addr {
+	a, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String formats the address as lower-case colon-separated hex.
+func (a Addr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// MarshalText implements encoding.TextMarshaler (JSON/CSV friendliness).
+func (a Addr) MarshalText() ([]byte, error) { return []byte(a.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (a *Addr) UnmarshalText(b []byte) error {
+	parsed, err := Parse(string(b))
+	if err != nil {
+		return err
+	}
+	*a = parsed
+	return nil
+}
+
+// OUI returns the top 24 bits — the organizationally unique identifier
+// that maps to a manufacturer.
+func (a Addr) OUI() uint32 {
+	return uint32(a[0])<<16 | uint32(a[1])<<8 | uint32(a[2])
+}
+
+// NIC returns the bottom 24 bits — the per-device portion that the study
+// obfuscates before collection.
+func (a Addr) NIC() uint32 {
+	return uint32(a[3])<<16 | uint32(a[4])<<8 | uint32(a[5])
+}
+
+// IsMulticast reports whether the group bit is set.
+func (a Addr) IsMulticast() bool { return a[0]&0x01 != 0 }
+
+// IsLocallyAdministered reports whether the U/L bit is set (randomized or
+// software-assigned addresses).
+func (a Addr) IsLocallyAdministered() bool { return a[0]&0x02 != 0 }
+
+// IsBroadcast reports whether the address is ff:ff:ff:ff:ff:ff.
+func (a Addr) IsBroadcast() bool {
+	return a == Addr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+}
+
+// IsZero reports whether the address is all zero.
+func (a Addr) IsZero() bool { return a == Addr{} }
+
+// FromOUI builds an address from a 24-bit OUI and a 24-bit NIC portion.
+func FromOUI(oui uint32, nic uint32) Addr {
+	return Addr{
+		byte(oui >> 16), byte(oui >> 8), byte(oui),
+		byte(nic >> 16), byte(nic >> 8), byte(nic),
+	}
+}
+
+// Anonymizer applies the paper's MAC anonymization: it keeps the OUI
+// intact and replaces the NIC portion with a keyed hash of itself, so the
+// same device always maps to the same pseudonym within one study but the
+// physical identity is not recoverable without the key.
+type Anonymizer struct {
+	key []byte
+}
+
+// NewAnonymizer returns an Anonymizer keyed by key. Distinct keys produce
+// unlinkable pseudonym spaces (e.g. one key per study period).
+func NewAnonymizer(key []byte) *Anonymizer {
+	return &Anonymizer{key: append([]byte(nil), key...)}
+}
+
+// Anonymize returns the address with its lower 24 bits replaced by an
+// HMAC-SHA256-derived pseudonym. The OUI — and therefore manufacturer
+// lookup — is preserved. Anonymize is deterministic for a fixed key.
+func (z *Anonymizer) Anonymize(a Addr) Addr {
+	mac := hmac.New(sha256.New, z.key)
+	mac.Write(a[:])
+	sum := mac.Sum(nil)
+	nic := binary.BigEndian.Uint32(sum[:4]) & 0x00ffffff
+	out := FromOUI(a.OUI(), nic)
+	// Preserve the unicast/global bits of the original OUI; hashing only
+	// touched the NIC so nothing to fix — but keep the invariant explicit.
+	out[0] = a[0]
+	return out
+}

@@ -1,0 +1,133 @@
+package mac
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, s := range []string{"00:1a:2b:3c:4d:5e", "ff:ff:ff:ff:ff:ff", "00:00:00:00:00:01"} {
+		a, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if a.String() != s {
+			t.Fatalf("round trip %q -> %q", s, a.String())
+		}
+	}
+}
+
+func TestParseSeparators(t *testing.T) {
+	a, err := Parse("00-1A-2B-3C-4D-5E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != "00:1a:2b:3c:4d:5e" {
+		t.Fatalf("got %q", a.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "00:11:22:33:44", "00:11:22:33:44:55:66", "zz:11:22:33:44:55", "0:1:2:3:4:5"} {
+		if _, err := Parse(s); err == nil {
+			t.Fatalf("Parse(%q) succeeded", s)
+		}
+	}
+}
+
+func TestOUIAndNIC(t *testing.T) {
+	a := MustParse("a4:b1:c2:01:02:03")
+	if a.OUI() != 0xa4b1c2 {
+		t.Fatalf("OUI = %06x", a.OUI())
+	}
+	if a.NIC() != 0x010203 {
+		t.Fatalf("NIC = %06x", a.NIC())
+	}
+}
+
+func TestFromOUIInverse(t *testing.T) {
+	if err := quick.Check(func(oui, nic uint32) bool {
+		oui &= 0xffffff
+		nic &= 0xffffff
+		a := FromOUI(oui, nic)
+		return a.OUI() == oui && a.NIC() == nic
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlagBits(t *testing.T) {
+	if !MustParse("01:00:5e:00:00:01").IsMulticast() {
+		t.Fatal("multicast bit not detected")
+	}
+	if MustParse("00:1a:2b:3c:4d:5e").IsMulticast() {
+		t.Fatal("unicast flagged multicast")
+	}
+	if !MustParse("02:00:00:00:00:01").IsLocallyAdministered() {
+		t.Fatal("U/L bit not detected")
+	}
+	if !MustParse("ff:ff:ff:ff:ff:ff").IsBroadcast() {
+		t.Fatal("broadcast not detected")
+	}
+	var zero Addr
+	if !zero.IsZero() {
+		t.Fatal("zero not detected")
+	}
+}
+
+func TestAnonymizePreservesOUI(t *testing.T) {
+	z := NewAnonymizer([]byte("study-key"))
+	if err := quick.Check(func(raw [6]byte) bool {
+		a := Addr(raw)
+		out := z.Anonymize(a)
+		return out.OUI() == a.OUI()
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnonymizeDeterministic(t *testing.T) {
+	z := NewAnonymizer([]byte("k"))
+	a := MustParse("a4:b1:c2:01:02:03")
+	if z.Anonymize(a) != z.Anonymize(a) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestAnonymizeChangesNIC(t *testing.T) {
+	z := NewAnonymizer([]byte("k"))
+	changed := 0
+	for nic := uint32(0); nic < 100; nic++ {
+		a := FromOUI(0xa4b1c2, nic)
+		if z.Anonymize(a).NIC() != a.NIC() {
+			changed++
+		}
+	}
+	if changed < 99 {
+		t.Fatalf("only %d/100 NICs changed", changed)
+	}
+}
+
+func TestAnonymizeKeysUnlinkable(t *testing.T) {
+	a := MustParse("a4:b1:c2:01:02:03")
+	z1 := NewAnonymizer([]byte("period-1"))
+	z2 := NewAnonymizer([]byte("period-2"))
+	if z1.Anonymize(a) == z2.Anonymize(a) {
+		t.Fatal("different keys produced the same pseudonym")
+	}
+}
+
+func TestAnonymizeInjectiveOnSample(t *testing.T) {
+	// Distinct devices should (overwhelmingly) keep distinct pseudonyms —
+	// collisions would merge devices in the Traffic data set.
+	z := NewAnonymizer([]byte("k"))
+	seen := make(map[Addr]Addr)
+	for nic := uint32(0); nic < 5000; nic++ {
+		a := FromOUI(0xa4b1c2, nic)
+		out := z.Anonymize(a)
+		if prev, ok := seen[out]; ok {
+			t.Fatalf("collision: %v and %v both -> %v", prev, a, out)
+		}
+		seen[out] = a
+	}
+}

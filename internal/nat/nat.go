@@ -1,0 +1,299 @@
+// Package nat implements the network address translator the paper's title
+// points at. From outside the home, every device appears as the gateway's
+// single WAN address; the NAT's binding table is exactly the information
+// an external observer lacks and the in-home vantage point has. The
+// gateway runs this NAT on the forwarding path and the capture pipeline
+// reads its reverse mappings to attribute WAN flows back to LAN devices.
+//
+// The translator is endpoint-independent for mapping ("full-cone" style
+// allocation: one external port per internal endpoint, reused across
+// destinations) with per-flow connection tracking for expiry — the common
+// home-router behaviour.
+package nat
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"natpeek/internal/packet"
+)
+
+// Errors returned by the translator.
+var (
+	ErrPortsExhausted = errors.New("nat: external ports exhausted")
+	ErrNoMapping      = errors.New("nat: no mapping")
+	ErrNotIPv4        = errors.New("nat: not an IPv4 packet")
+	ErrUnsupported    = errors.New("nat: unsupported transport")
+)
+
+// Endpoint is an (address, port) pair.
+type Endpoint struct {
+	Addr netip.Addr
+	Port uint16
+}
+
+func (e Endpoint) String() string { return fmt.Sprintf("%v:%d", e.Addr, e.Port) }
+
+// mappingKey identifies an internal endpoint per protocol.
+type mappingKey struct {
+	proto packet.IPProto
+	in    Endpoint
+}
+
+// Mapping is one NAT binding: internal endpoint ↔ external port.
+type Mapping struct {
+	Proto    packet.IPProto
+	Internal Endpoint
+	External Endpoint
+	Created  time.Time
+	LastUsed time.Time
+	// Flows counts distinct remote endpoints seen through this mapping.
+	Flows int
+}
+
+// Table is the translator state. Not safe for concurrent use.
+type Table struct {
+	wan netip.Addr
+
+	udpTimeout time.Duration
+	tcpTimeout time.Duration
+
+	byInternal map[mappingKey]*Mapping
+	byExternal map[mappingKey]*Mapping // key.in holds the *external* endpoint
+	remotes    map[mappingKey]map[Endpoint]bool
+
+	nextPort  uint16
+	portLo    uint16
+	portHi    uint16
+	allocated int
+}
+
+// Config tunes the translator.
+type Config struct {
+	// WANAddr is the gateway's public address.
+	WANAddr netip.Addr
+	// PortLo/PortHi bound the external port range (default 32768–60999).
+	PortLo, PortHi uint16
+	// UDPTimeout and TCPTimeout are idle expiries (defaults 2 min / 2 h,
+	// typical consumer-router values).
+	UDPTimeout, TCPTimeout time.Duration
+}
+
+// New returns an empty translator.
+func New(cfg Config) *Table {
+	if cfg.PortLo == 0 {
+		cfg.PortLo = 32768
+	}
+	if cfg.PortHi == 0 {
+		cfg.PortHi = 60999
+	}
+	if cfg.PortHi <= cfg.PortLo {
+		panic("nat: invalid port range")
+	}
+	if cfg.UDPTimeout <= 0 {
+		cfg.UDPTimeout = 2 * time.Minute
+	}
+	if cfg.TCPTimeout <= 0 {
+		cfg.TCPTimeout = 2 * time.Hour
+	}
+	return &Table{
+		wan:        cfg.WANAddr,
+		udpTimeout: cfg.UDPTimeout,
+		tcpTimeout: cfg.TCPTimeout,
+		byInternal: make(map[mappingKey]*Mapping),
+		byExternal: make(map[mappingKey]*Mapping),
+		remotes:    make(map[mappingKey]map[Endpoint]bool),
+		nextPort:   cfg.PortLo,
+		portLo:     cfg.PortLo,
+		portHi:     cfg.PortHi,
+	}
+}
+
+// WANAddr returns the external address.
+func (t *Table) WANAddr() netip.Addr { return t.wan }
+
+// Size returns the number of active mappings.
+func (t *Table) Size() int { return len(t.byInternal) }
+
+// TranslateOut rewrites an outbound (LAN→WAN) frame in place: the source
+// IP becomes the WAN address and the source port the mapped external
+// port. It returns the mapping used. The frame must be Ethernet+IPv4 with
+// TCP or UDP.
+func (t *Table) TranslateOut(raw []byte, now time.Time) (*Mapping, error) {
+	p, err := packet.Decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	if p.IP4 == nil {
+		return nil, ErrNotIPv4
+	}
+	sport, dport := p.Ports()
+	if p.TCP == nil && p.UDP == nil {
+		return nil, ErrUnsupported
+	}
+	in := Endpoint{Addr: p.IP4.Src, Port: sport}
+	remote := Endpoint{Addr: p.IP4.Dst, Port: dport}
+	m, err := t.mapOut(p.Proto(), in, remote, now)
+	if err != nil {
+		return nil, err
+	}
+	rewrite(raw, p, t.wan, m.External.Port, true)
+	return m, nil
+}
+
+// TranslateIn rewrites an inbound (WAN→LAN) frame in place: the
+// destination becomes the internal endpoint mapped to the frame's
+// destination port. Frames with no mapping return ErrNoMapping (the
+// paper's NAT opacity: unsolicited inbound traffic has nowhere to go).
+func (t *Table) TranslateIn(raw []byte, now time.Time) (*Mapping, error) {
+	p, err := packet.Decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	if p.IP4 == nil {
+		return nil, ErrNotIPv4
+	}
+	if p.TCP == nil && p.UDP == nil {
+		return nil, ErrUnsupported
+	}
+	_, dport := p.Ports()
+	key := mappingKey{p.Proto(), Endpoint{Addr: p.IP4.Dst, Port: dport}}
+	m, ok := t.byExternal[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v/%v", ErrNoMapping, p.Proto(), key.in)
+	}
+	m.LastUsed = now
+	rewrite(raw, p, m.Internal.Addr, m.Internal.Port, false)
+	return m, nil
+}
+
+// mapOut finds or creates the binding for an internal endpoint.
+func (t *Table) mapOut(proto packet.IPProto, in, remote Endpoint, now time.Time) (*Mapping, error) {
+	key := mappingKey{proto, in}
+	m, ok := t.byInternal[key]
+	if !ok {
+		port, err := t.allocPort(proto, now)
+		if err != nil {
+			return nil, err
+		}
+		m = &Mapping{
+			Proto:    proto,
+			Internal: in,
+			External: Endpoint{Addr: t.wan, Port: port},
+			Created:  now,
+		}
+		t.byInternal[key] = m
+		t.byExternal[mappingKey{proto, m.External}] = m
+		t.remotes[key] = make(map[Endpoint]bool)
+	}
+	m.LastUsed = now
+	if rs := t.remotes[key]; !rs[remote] {
+		rs[remote] = true
+		m.Flows++
+	}
+	return m, nil
+}
+
+func (t *Table) allocPort(proto packet.IPProto, now time.Time) (uint16, error) {
+	span := int(t.portHi-t.portLo) + 1
+	for i := 0; i < span; i++ {
+		port := t.nextPort
+		t.nextPort++
+		if t.nextPort > t.portHi {
+			t.nextPort = t.portLo
+		}
+		if _, taken := t.byExternal[mappingKey{proto, Endpoint{t.wan, port}}]; !taken {
+			return port, nil
+		}
+	}
+	// Try reclaiming idle mappings, then retry once.
+	if t.Expire(now) > 0 {
+		return t.allocPort(proto, now)
+	}
+	return 0, ErrPortsExhausted
+}
+
+// Expire drops mappings idle past their protocol timeout and returns the
+// number removed.
+func (t *Table) Expire(now time.Time) int {
+	n := 0
+	for key, m := range t.byInternal {
+		timeout := t.udpTimeout
+		if m.Proto == packet.ProtoTCP {
+			timeout = t.tcpTimeout
+		}
+		if now.Sub(m.LastUsed) >= timeout {
+			delete(t.byInternal, key)
+			delete(t.byExternal, mappingKey{m.Proto, m.External})
+			delete(t.remotes, key)
+			n++
+		}
+	}
+	return n
+}
+
+// Lookup returns the mapping for an internal endpoint, if any.
+func (t *Table) Lookup(proto packet.IPProto, in Endpoint) (*Mapping, error) {
+	if m, ok := t.byInternal[mappingKey{proto, in}]; ok {
+		return m, nil
+	}
+	return nil, fmt.Errorf("%w: %v/%v", ErrNoMapping, proto, in)
+}
+
+// Attribute answers the "peeking behind the NAT" question in reverse:
+// given the external port an outside observer saw, which internal device
+// (LAN address) was it? This is what the in-home vantage point adds over
+// measuring from the wide area.
+func (t *Table) Attribute(proto packet.IPProto, externalPort uint16) (Endpoint, error) {
+	if m, ok := t.byExternal[mappingKey{proto, Endpoint{t.wan, externalPort}}]; ok {
+		return m.Internal, nil
+	}
+	return Endpoint{}, fmt.Errorf("%w: port %d", ErrNoMapping, externalPort)
+}
+
+// Mappings returns a snapshot of all active mappings (unsorted).
+func (t *Table) Mappings() []*Mapping {
+	out := make([]*Mapping, 0, len(t.byInternal))
+	for _, m := range t.byInternal {
+		out = append(out, m)
+	}
+	return out
+}
+
+// rewrite updates src (outbound) or dst (inbound) address/port in the raw
+// frame and fixes all checksums by re-marshaling the transport segment.
+func rewrite(raw []byte, p *packet.Packet, addr netip.Addr, port uint16, outbound bool) {
+	ip := *p.IP4
+	if outbound {
+		ip.Src = addr
+	} else {
+		ip.Dst = addr
+	}
+	var seg []byte
+	switch {
+	case p.TCP != nil:
+		tcp := *p.TCP
+		if outbound {
+			tcp.SrcPort = port
+		} else {
+			tcp.DstPort = port
+		}
+		seg = tcp.Marshal(nil, ip.Src, ip.Dst, p.Payload)
+	case p.UDP != nil:
+		udp := *p.UDP
+		if outbound {
+			udp.SrcPort = port
+		} else {
+			udp.DstPort = port
+		}
+		seg = udp.Marshal(nil, ip.Src, ip.Dst, p.Payload)
+	}
+	eth := *p.Eth
+	out := eth.Marshal(raw[:0])
+	out = ip.Marshal(out, seg)
+	if len(out) != len(raw) {
+		panic("nat: rewrite changed frame length")
+	}
+}

@@ -1,0 +1,464 @@
+// Package packet implements the wire formats the gateway's passive monitor
+// parses: Ethernet II, ARP, IPv4, IPv6, TCP, UDP, and ICMPv4, with a
+// layered decode API in the style of gopacket. The traffic generator
+// *serializes* real bytes with this package and the capture pipeline
+// *parses* them back, so the passive-measurement path is exercised
+// end-to-end rather than on structs passed by hand.
+//
+// Scope note: this is a measurement codec, not a host stack. It decodes
+// what a home gateway sees; it does not reassemble IP fragments or TCP
+// streams (the paper's flow statistics don't either — they count packets,
+// bytes, and 5-tuples).
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"natpeek/internal/mac"
+)
+
+// Common decode errors.
+var (
+	ErrTruncated   = errors.New("packet: truncated")
+	ErrBadVersion  = errors.New("packet: bad IP version")
+	ErrBadChecksum = errors.New("packet: bad checksum")
+	ErrBadHeader   = errors.New("packet: malformed header")
+)
+
+// EtherType values understood by the decoder.
+type EtherType uint16
+
+// Supported EtherTypes.
+const (
+	EtherTypeIPv4 EtherType = 0x0800
+	EtherTypeARP  EtherType = 0x0806
+	EtherTypeIPv6 EtherType = 0x86DD
+)
+
+// IPProto values understood by the decoder.
+type IPProto uint8
+
+// Supported IP protocols.
+const (
+	ProtoICMP IPProto = 1
+	ProtoTCP  IPProto = 6
+	ProtoUDP  IPProto = 17
+)
+
+func (p IPProto) String() string {
+	switch p {
+	case ProtoICMP:
+		return "icmp"
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("proto-%d", uint8(p))
+	}
+}
+
+// Ethernet is an Ethernet II frame header.
+type Ethernet struct {
+	Dst  mac.Addr
+	Src  mac.Addr
+	Type EtherType
+}
+
+const ethernetLen = 14
+
+// Marshal appends the wire form of the header to b.
+func (e *Ethernet) Marshal(b []byte) []byte {
+	b = append(b, e.Dst[:]...)
+	b = append(b, e.Src[:]...)
+	return binary.BigEndian.AppendUint16(b, uint16(e.Type))
+}
+
+// Unmarshal parses the header and returns the payload.
+func (e *Ethernet) Unmarshal(b []byte) ([]byte, error) {
+	if len(b) < ethernetLen {
+		return nil, fmt.Errorf("%w: ethernet header (%d bytes)", ErrTruncated, len(b))
+	}
+	copy(e.Dst[:], b[0:6])
+	copy(e.Src[:], b[6:12])
+	e.Type = EtherType(binary.BigEndian.Uint16(b[12:14]))
+	return b[ethernetLen:], nil
+}
+
+// ARP is an Ethernet/IPv4 ARP message.
+type ARP struct {
+	Op       uint16 // 1 = request, 2 = reply
+	SenderHW mac.Addr
+	SenderIP netip.Addr
+	TargetHW mac.Addr
+	TargetIP netip.Addr
+}
+
+// ARP opcodes.
+const (
+	ARPRequest = 1
+	ARPReply   = 2
+)
+
+// Marshal appends the wire form to b.
+func (a *ARP) Marshal(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, 1)      // HTYPE ethernet
+	b = binary.BigEndian.AppendUint16(b, 0x0800) // PTYPE IPv4
+	b = append(b, 6, 4)                          // HLEN, PLEN
+	b = binary.BigEndian.AppendUint16(b, a.Op)
+	b = append(b, a.SenderHW[:]...)
+	sip := a.SenderIP.As4()
+	b = append(b, sip[:]...)
+	b = append(b, a.TargetHW[:]...)
+	tip := a.TargetIP.As4()
+	return append(b, tip[:]...)
+}
+
+// Unmarshal parses an ARP message.
+func (a *ARP) Unmarshal(b []byte) error {
+	if len(b) < 28 {
+		return fmt.Errorf("%w: arp (%d bytes)", ErrTruncated, len(b))
+	}
+	if binary.BigEndian.Uint16(b[0:2]) != 1 || binary.BigEndian.Uint16(b[2:4]) != 0x0800 {
+		return fmt.Errorf("%w: arp types", ErrBadHeader)
+	}
+	a.Op = binary.BigEndian.Uint16(b[6:8])
+	copy(a.SenderHW[:], b[8:14])
+	a.SenderIP = netip.AddrFrom4([4]byte(b[14:18]))
+	copy(a.TargetHW[:], b[18:24])
+	a.TargetIP = netip.AddrFrom4([4]byte(b[24:28]))
+	return nil
+}
+
+// IPv4 is an IPv4 header (options are preserved opaquely).
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	Flags    uint8 // top 3 bits of the fragment field
+	FragOff  uint16
+	TTL      uint8
+	Protocol IPProto
+	Src      netip.Addr
+	Dst      netip.Addr
+	Options  []byte
+}
+
+const ipv4MinLen = 20
+
+// Marshal appends the header (with checksum) followed by payload to b.
+func (ip *IPv4) Marshal(b []byte, payload []byte) []byte {
+	hlen := ipv4MinLen + len(ip.Options)
+	if hlen%4 != 0 {
+		panic("packet: IPv4 options not 32-bit aligned")
+	}
+	start := len(b)
+	total := hlen + len(payload)
+	b = append(b, byte(4<<4|hlen/4), ip.TOS)
+	b = binary.BigEndian.AppendUint16(b, uint16(total))
+	b = binary.BigEndian.AppendUint16(b, ip.ID)
+	b = binary.BigEndian.AppendUint16(b, uint16(ip.Flags)<<13|ip.FragOff&0x1fff)
+	b = append(b, ip.TTL, byte(ip.Protocol))
+	b = append(b, 0, 0) // checksum placeholder
+	src, dst := ip.Src.As4(), ip.Dst.As4()
+	b = append(b, src[:]...)
+	b = append(b, dst[:]...)
+	b = append(b, ip.Options...)
+	cs := Checksum(b[start : start+hlen])
+	binary.BigEndian.PutUint16(b[start+10:start+12], cs)
+	return append(b, payload...)
+}
+
+// Unmarshal parses the header, verifies its checksum, and returns the
+// payload (trimmed to the header's total length).
+func (ip *IPv4) Unmarshal(b []byte) ([]byte, error) {
+	if len(b) < ipv4MinLen {
+		return nil, fmt.Errorf("%w: ipv4 header (%d bytes)", ErrTruncated, len(b))
+	}
+	if b[0]>>4 != 4 {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, b[0]>>4)
+	}
+	hlen := int(b[0]&0x0f) * 4
+	if hlen < ipv4MinLen || hlen > len(b) {
+		return nil, fmt.Errorf("%w: ihl %d", ErrBadHeader, hlen)
+	}
+	total := int(binary.BigEndian.Uint16(b[2:4]))
+	if total < hlen || total > len(b) {
+		return nil, fmt.Errorf("%w: total length %d of %d", ErrTruncated, total, len(b))
+	}
+	if Checksum(b[:hlen]) != 0 {
+		return nil, fmt.Errorf("%w: ipv4 header", ErrBadChecksum)
+	}
+	ip.TOS = b[1]
+	ip.ID = binary.BigEndian.Uint16(b[4:6])
+	frag := binary.BigEndian.Uint16(b[6:8])
+	ip.Flags = uint8(frag >> 13)
+	ip.FragOff = frag & 0x1fff
+	ip.TTL = b[8]
+	ip.Protocol = IPProto(b[9])
+	ip.Src = netip.AddrFrom4([4]byte(b[12:16]))
+	ip.Dst = netip.AddrFrom4([4]byte(b[16:20]))
+	if hlen > ipv4MinLen {
+		ip.Options = append([]byte(nil), b[ipv4MinLen:hlen]...)
+	} else {
+		ip.Options = nil
+	}
+	return b[hlen:total], nil
+}
+
+// IPv6 is a fixed IPv6 header (extension headers are not interpreted).
+type IPv6 struct {
+	TrafficClass uint8
+	FlowLabel    uint32
+	NextHeader   IPProto
+	HopLimit     uint8
+	Src          netip.Addr
+	Dst          netip.Addr
+}
+
+const ipv6Len = 40
+
+// Marshal appends the header followed by payload to b.
+func (ip *IPv6) Marshal(b []byte, payload []byte) []byte {
+	w := uint32(6)<<28 | uint32(ip.TrafficClass)<<20 | ip.FlowLabel&0xfffff
+	b = binary.BigEndian.AppendUint32(b, w)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(payload)))
+	b = append(b, byte(ip.NextHeader), ip.HopLimit)
+	src, dst := ip.Src.As16(), ip.Dst.As16()
+	b = append(b, src[:]...)
+	b = append(b, dst[:]...)
+	return append(b, payload...)
+}
+
+// Unmarshal parses the header and returns the payload.
+func (ip *IPv6) Unmarshal(b []byte) ([]byte, error) {
+	if len(b) < ipv6Len {
+		return nil, fmt.Errorf("%w: ipv6 header (%d bytes)", ErrTruncated, len(b))
+	}
+	w := binary.BigEndian.Uint32(b[0:4])
+	if w>>28 != 6 {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, w>>28)
+	}
+	ip.TrafficClass = uint8(w >> 20)
+	ip.FlowLabel = w & 0xfffff
+	plen := int(binary.BigEndian.Uint16(b[4:6]))
+	ip.NextHeader = IPProto(b[6])
+	ip.HopLimit = b[7]
+	ip.Src = netip.AddrFrom16([16]byte(b[8:24]))
+	ip.Dst = netip.AddrFrom16([16]byte(b[24:40]))
+	if ipv6Len+plen > len(b) {
+		return nil, fmt.Errorf("%w: ipv6 payload %d of %d", ErrTruncated, plen, len(b)-ipv6Len)
+	}
+	return b[ipv6Len : ipv6Len+plen], nil
+}
+
+// UDP is a UDP header.
+type UDP struct {
+	SrcPort uint16
+	DstPort uint16
+}
+
+const udpLen = 8
+
+// Marshal appends the header (with pseudo-header checksum over src/dst)
+// followed by payload to b.
+func (u *UDP) Marshal(b []byte, src, dst netip.Addr, payload []byte) []byte {
+	start := len(b)
+	b = binary.BigEndian.AppendUint16(b, u.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, u.DstPort)
+	b = binary.BigEndian.AppendUint16(b, uint16(udpLen+len(payload)))
+	b = append(b, 0, 0)
+	b = append(b, payload...)
+	cs := pseudoChecksum(src, dst, ProtoUDP, b[start:])
+	if cs == 0 {
+		cs = 0xffff // RFC 768: transmitted as all-ones
+	}
+	binary.BigEndian.PutUint16(b[start+6:start+8], cs)
+	return b
+}
+
+// Unmarshal parses the header, verifies the checksum against the
+// pseudo-header, and returns the payload.
+func (u *UDP) Unmarshal(b []byte, src, dst netip.Addr) ([]byte, error) {
+	if len(b) < udpLen {
+		return nil, fmt.Errorf("%w: udp header (%d bytes)", ErrTruncated, len(b))
+	}
+	ulen := int(binary.BigEndian.Uint16(b[4:6]))
+	if ulen < udpLen || ulen > len(b) {
+		return nil, fmt.Errorf("%w: udp length %d of %d", ErrTruncated, ulen, len(b))
+	}
+	if binary.BigEndian.Uint16(b[6:8]) != 0 { // checksum present
+		if pseudoChecksum(src, dst, ProtoUDP, b[:ulen]) != 0 {
+			return nil, fmt.Errorf("%w: udp", ErrBadChecksum)
+		}
+	}
+	u.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	u.DstPort = binary.BigEndian.Uint16(b[2:4])
+	return b[udpLen:ulen], nil
+}
+
+// TCP flag bits.
+const (
+	FlagFIN = 1 << 0
+	FlagSYN = 1 << 1
+	FlagRST = 1 << 2
+	FlagPSH = 1 << 3
+	FlagACK = 1 << 4
+)
+
+// TCP is a TCP header (options preserved opaquely).
+type TCP struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8
+	Window  uint16
+	Options []byte
+}
+
+const tcpMinLen = 20
+
+// Marshal appends the header (with pseudo-header checksum) followed by
+// payload to b.
+func (t *TCP) Marshal(b []byte, src, dst netip.Addr, payload []byte) []byte {
+	if len(t.Options)%4 != 0 {
+		panic("packet: TCP options not 32-bit aligned")
+	}
+	hlen := tcpMinLen + len(t.Options)
+	start := len(b)
+	b = binary.BigEndian.AppendUint16(b, t.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, t.DstPort)
+	b = binary.BigEndian.AppendUint32(b, t.Seq)
+	b = binary.BigEndian.AppendUint32(b, t.Ack)
+	b = append(b, byte(hlen/4)<<4, t.Flags)
+	b = binary.BigEndian.AppendUint16(b, t.Window)
+	b = append(b, 0, 0, 0, 0) // checksum + urgent
+	b = append(b, t.Options...)
+	b = append(b, payload...)
+	cs := pseudoChecksum(src, dst, ProtoTCP, b[start:])
+	binary.BigEndian.PutUint16(b[start+16:start+18], cs)
+	return b
+}
+
+// Unmarshal parses the header, verifies the checksum, and returns the
+// payload.
+func (t *TCP) Unmarshal(b []byte, src, dst netip.Addr) ([]byte, error) {
+	if len(b) < tcpMinLen {
+		return nil, fmt.Errorf("%w: tcp header (%d bytes)", ErrTruncated, len(b))
+	}
+	hlen := int(b[12]>>4) * 4
+	if hlen < tcpMinLen || hlen > len(b) {
+		return nil, fmt.Errorf("%w: tcp data offset %d", ErrBadHeader, hlen)
+	}
+	if pseudoChecksum(src, dst, ProtoTCP, b) != 0 {
+		return nil, fmt.Errorf("%w: tcp", ErrBadChecksum)
+	}
+	t.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	t.DstPort = binary.BigEndian.Uint16(b[2:4])
+	t.Seq = binary.BigEndian.Uint32(b[4:8])
+	t.Ack = binary.BigEndian.Uint32(b[8:12])
+	t.Flags = b[13]
+	t.Window = binary.BigEndian.Uint16(b[14:16])
+	if hlen > tcpMinLen {
+		t.Options = append([]byte(nil), b[tcpMinLen:hlen]...)
+	} else {
+		t.Options = nil
+	}
+	return b[hlen:], nil
+}
+
+// ICMPv4 is an ICMP message header.
+type ICMPv4 struct {
+	Type uint8
+	Code uint8
+	ID   uint16
+	Seq  uint16
+}
+
+// ICMP types used by the platform's diagnostics.
+const (
+	ICMPEchoReply   = 0
+	ICMPEchoRequest = 8
+)
+
+// Marshal appends the message (with checksum) and payload to b.
+func (ic *ICMPv4) Marshal(b []byte, payload []byte) []byte {
+	start := len(b)
+	b = append(b, ic.Type, ic.Code, 0, 0)
+	b = binary.BigEndian.AppendUint16(b, ic.ID)
+	b = binary.BigEndian.AppendUint16(b, ic.Seq)
+	b = append(b, payload...)
+	cs := Checksum(b[start:])
+	binary.BigEndian.PutUint16(b[start+2:start+4], cs)
+	return b
+}
+
+// Unmarshal parses the message, verifies the checksum, and returns the
+// payload.
+func (ic *ICMPv4) Unmarshal(b []byte) ([]byte, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("%w: icmp (%d bytes)", ErrTruncated, len(b))
+	}
+	if Checksum(b) != 0 {
+		return nil, fmt.Errorf("%w: icmp", ErrBadChecksum)
+	}
+	ic.Type = b[0]
+	ic.Code = b[1]
+	ic.ID = binary.BigEndian.Uint16(b[4:6])
+	ic.Seq = binary.BigEndian.Uint16(b[6:8])
+	return b[8:], nil
+}
+
+// Checksum computes the Internet checksum (RFC 1071) of b. Verifying a
+// buffer that embeds its own correct checksum yields 0.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoChecksum computes the TCP/UDP checksum including the IPv4 or IPv6
+// pseudo-header for the given addresses.
+func pseudoChecksum(src, dst netip.Addr, proto IPProto, segment []byte) uint16 {
+	var ph []byte
+	if src.Is4() && dst.Is4() {
+		ph = make([]byte, 0, 12)
+		s4, d4 := src.As4(), dst.As4()
+		ph = append(ph, s4[:]...)
+		ph = append(ph, d4[:]...)
+		ph = append(ph, 0, byte(proto))
+		ph = binary.BigEndian.AppendUint16(ph, uint16(len(segment)))
+	} else {
+		ph = make([]byte, 0, 40)
+		s16, d16 := src.As16(), dst.As16()
+		ph = append(ph, s16[:]...)
+		ph = append(ph, d16[:]...)
+		ph = binary.BigEndian.AppendUint32(ph, uint32(len(segment)))
+		ph = append(ph, 0, 0, 0, byte(proto))
+	}
+	var sum uint32
+	for i := 0; i+1 < len(ph); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(ph[i : i+2]))
+	}
+	for i := 0; i+1 < len(segment); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(segment[i : i+2]))
+	}
+	if len(segment)%2 == 1 {
+		sum += uint32(segment[len(segment)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,162 @@
+// Package pcap reads and writes classic libpcap capture files
+// (little-endian, microsecond resolution, LINKTYPE_ETHERNET). The
+// paper's Traffic data set begins as "the size and timestamp of every
+// packet relayed to and from the Internet" (§3.2.2); this package is the
+// trace layer under that — gateway captures written with it open
+// directly in tcpdump/Wireshark.
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+const (
+	magicLE    = 0xa1b2c3d4
+	magicBE    = 0xd4c3b2a1
+	versionMaj = 2
+	versionMin = 4
+	// LinkTypeEthernet is the only link type this package emits.
+	LinkTypeEthernet = 1
+)
+
+// Errors.
+var (
+	ErrBadMagic  = errors.New("pcap: bad magic")
+	ErrTruncated = errors.New("pcap: truncated")
+)
+
+// Packet is one captured frame.
+type Packet struct {
+	At   time.Time
+	Data []byte
+	// OrigLen is the frame's original length; ≥ len(Data) when the
+	// capture was truncated by the snap length.
+	OrigLen int
+}
+
+// Writer emits a pcap stream.
+type Writer struct {
+	w       io.Writer
+	snapLen int
+}
+
+// NewWriter writes the file header and returns a Writer. snapLen caps
+// stored bytes per packet (0 = 65535).
+func NewWriter(w io.Writer, snapLen int) (*Writer, error) {
+	if snapLen <= 0 {
+		snapLen = 65535
+	}
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:], magicLE)
+	binary.LittleEndian.PutUint16(hdr[4:], versionMaj)
+	binary.LittleEndian.PutUint16(hdr[6:], versionMin)
+	// thiszone, sigfigs = 0
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(snapLen))
+	binary.LittleEndian.PutUint32(hdr[20:], LinkTypeEthernet)
+	if _, err := w.Write(hdr); err != nil {
+		return nil, fmt.Errorf("pcap: %w", err)
+	}
+	return &Writer{w: w, snapLen: snapLen}, nil
+}
+
+// WritePacket appends one frame.
+func (pw *Writer) WritePacket(p Packet) error {
+	data := p.Data
+	orig := p.OrigLen
+	if orig < len(data) {
+		orig = len(data)
+	}
+	if len(data) > pw.snapLen {
+		data = data[:pw.snapLen]
+	}
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(p.At.Unix()))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(p.At.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(data)))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(orig))
+	if _, err := pw.w.Write(hdr); err != nil {
+		return fmt.Errorf("pcap: %w", err)
+	}
+	if _, err := pw.w.Write(data); err != nil {
+		return fmt.Errorf("pcap: %w", err)
+	}
+	return nil
+}
+
+// Reader parses a pcap stream.
+type Reader struct {
+	r       io.Reader
+	order   binary.ByteOrder
+	SnapLen int
+	// LinkType is the capture's link-layer type.
+	LinkType uint32
+}
+
+// NewReader validates the file header.
+func NewReader(r io.Reader) (*Reader, error) {
+	hdr := make([]byte, 24)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("%w: header", ErrTruncated)
+	}
+	var order binary.ByteOrder
+	switch binary.LittleEndian.Uint32(hdr[0:]) {
+	case magicLE:
+		order = binary.LittleEndian
+	case magicBE:
+		order = binary.BigEndian
+	default:
+		return nil, ErrBadMagic
+	}
+	return &Reader{
+		r:        r,
+		order:    order,
+		SnapLen:  int(order.Uint32(hdr[16:])),
+		LinkType: order.Uint32(hdr[20:]),
+	}, nil
+}
+
+// ReadPacket returns the next frame, or io.EOF at a clean end of stream.
+func (pr *Reader) ReadPacket() (Packet, error) {
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(pr.r, hdr); err != nil {
+		if err == io.EOF {
+			return Packet{}, io.EOF
+		}
+		return Packet{}, fmt.Errorf("%w: packet header", ErrTruncated)
+	}
+	sec := pr.order.Uint32(hdr[0:])
+	usec := pr.order.Uint32(hdr[4:])
+	capLen := pr.order.Uint32(hdr[8:])
+	origLen := pr.order.Uint32(hdr[12:])
+	if capLen > 1<<26 {
+		return Packet{}, fmt.Errorf("pcap: absurd capture length %d", capLen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(pr.r, data); err != nil {
+		return Packet{}, fmt.Errorf("%w: packet body", ErrTruncated)
+	}
+	return Packet{
+		At:      time.Unix(int64(sec), int64(usec)*1000).UTC(),
+		Data:    data,
+		OrigLen: int(origLen),
+	}, nil
+}
+
+// ReadAll drains the stream.
+func (pr *Reader) ReadAll() ([]Packet, error) {
+	var out []Packet
+	for {
+		p, err := pr.ReadPacket()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+}

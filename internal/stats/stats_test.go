@@ -1,0 +1,316 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("got %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || !almost(s.Mean, 5, 1e-12) {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	if !almost(s.Stddev, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("stddev = %v", s.Stddev)
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %v", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+}
+
+func TestQuantileEndpoints(t *testing.T) {
+	xs := []float64{5, 1, 9, 3}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 9 {
+		t.Fatal("endpoint quantiles wrong")
+	}
+}
+
+func TestQuantileSingle(t *testing.T) {
+	if Quantile([]float64{7}, 0.73) != 7 {
+		t.Fatal("single-sample quantile")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPercentile95(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1) // 1..100
+	}
+	p := Percentile(xs, 95)
+	if !almost(p, 95.05, 1e-9) {
+		t.Fatalf("p95 = %v", p)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	if err := quick.Check(func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		cdf := CDF(xs)
+		if len(xs) == 0 {
+			return cdf == nil
+		}
+		prevX := math.Inf(-1)
+		prevP := 0.0
+		for _, pt := range cdf {
+			if pt.X <= prevX && len(cdf) > 1 {
+				return false
+			}
+			if pt.P < prevP || pt.P > 1 {
+				return false
+			}
+			prevX, prevP = pt.X, pt.P
+		}
+		return almost(cdf[len(cdf)-1].P, 1, 1e-12)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFDuplicatesCollapse(t *testing.T) {
+	cdf := CDF([]float64{1, 1, 1, 2})
+	if len(cdf) != 2 {
+		t.Fatalf("len = %d, want 2", len(cdf))
+	}
+	if cdf[0].X != 1 || !almost(cdf[0].P, 0.75, 1e-12) {
+		t.Fatalf("first point %+v", cdf[0])
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	cdf := CDF([]float64{1, 2, 3, 4})
+	if p := CDFAt(cdf, 0); p != 0 {
+		t.Fatalf("CDFAt(0) = %v", p)
+	}
+	if p := CDFAt(cdf, 2); !almost(p, 0.5, 1e-12) {
+		t.Fatalf("CDFAt(2) = %v", p)
+	}
+	if p := CDFAt(cdf, 100); p != 1 {
+		t.Fatalf("CDFAt(100) = %v", p)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, width := Histogram([]float64{0.5, 1.5, 2.5, 9.5, -4, 40}, 0, 10, 10)
+	if width != 1 {
+		t.Fatalf("width = %v", width)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 6 {
+		t.Fatalf("histogram lost samples: %d", total)
+	}
+	if counts[0] != 2 { // 0.5 plus the clamped -4
+		t.Fatalf("bin0 = %d", counts[0])
+	}
+	if counts[9] != 2 { // 9.5 plus the clamped 40
+		t.Fatalf("bin9 = %d", counts[9])
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	if c, _ := Histogram([]float64{1}, 5, 5, 10); c != nil {
+		t.Fatal("degenerate range should return nil")
+	}
+	if c, _ := Histogram([]float64{1}, 0, 10, 0); c != nil {
+		t.Fatal("zero bins should return nil")
+	}
+}
+
+func TestShare(t *testing.T) {
+	s := Share([]float64{10, 30, 60})
+	if len(s) != 3 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if !almost(s[0], 0.6, 1e-12) || !almost(s[1], 0.3, 1e-12) || !almost(s[2], 0.1, 1e-12) {
+		t.Fatalf("shares = %v", s)
+	}
+}
+
+func TestShareSumsToOne(t *testing.T) {
+	if err := quick.Check(func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		pos := false
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			v = math.Mod(math.Abs(v), 1e9) // measurement-scale values
+			if v > 0 {
+				pos = true
+			}
+			xs = append(xs, v)
+		}
+		s := Share(xs)
+		if !pos {
+			return s == nil
+		}
+		sum := 0.0
+		for i, v := range s {
+			if i > 0 && v > s[i-1] {
+				return false // must be descending
+			}
+			sum += v
+		}
+		return almost(sum, 1, 1e-9)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShareZeroTotal(t *testing.T) {
+	if Share([]float64{0, 0}) != nil {
+		t.Fatal("zero total should return nil")
+	}
+}
+
+func TestHourBins(t *testing.T) {
+	var h HourBins
+	h.Add(9, 2)
+	h.Add(9, 4)
+	h.Add(21, 6)
+	m := h.Means()
+	if m[9] != 3 || m[21] != 6 || m[0] != 0 {
+		t.Fatalf("means = %v", m)
+	}
+}
+
+func TestHourBinsPanicOnBadHour(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	var h HourBins
+	h.Add(24, 1)
+}
+
+func TestPeakToTroughRatio(t *testing.T) {
+	var h HourBins
+	h.Add(3, 1)
+	h.Add(20, 3)
+	if r := h.PeakToTroughRatio(); !almost(r, 3, 1e-12) {
+		t.Fatalf("ratio = %v", r)
+	}
+	var flat HourBins
+	flat.Add(1, 5)
+	if r := flat.PeakToTroughRatio(); r != 1 {
+		t.Fatalf("single-hour ratio = %v", r)
+	}
+}
+
+func TestCounterRankedDeterministic(t *testing.T) {
+	c := NewCounter()
+	c.Add("apple", 5)
+	c.Add("intel", 5)
+	c.Add("roku", 2)
+	r := c.Ranked()
+	if r[0].Key != "apple" || r[1].Key != "intel" || r[2].Key != "roku" {
+		t.Fatalf("ranked = %v", r)
+	}
+	if c.Get("apple") != 5 || c.Len() != 3 {
+		t.Fatal("Get/Len wrong")
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini([]float64{1, 1, 1, 1}); !almost(g, 0, 1e-12) {
+		t.Fatalf("uniform gini = %v", g)
+	}
+	// One device owns everything in a 10-sample set → (n-1)/n = 0.9.
+	xs := make([]float64, 10)
+	xs[0] = 100
+	if g := Gini(xs); !almost(g, 0.9, 1e-12) {
+		t.Fatalf("concentrated gini = %v", g)
+	}
+	if g := Gini(nil); g != 0 {
+		t.Fatalf("empty gini = %v", g)
+	}
+}
+
+func TestGiniRange(t *testing.T) {
+	if err := quick.Check(func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(math.Abs(v), 1e9))
+		}
+		g := Gini(xs)
+		return g >= -1e-9 && g <= 1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileMatchesSortPosition(t *testing.T) {
+	// For a large sorted sample, Quantile(q) must sit between the
+	// surrounding order statistics.
+	xs := make([]float64, 1001)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	sort.Float64s(xs)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.9, 0.95} {
+		v := Quantile(xs, q)
+		if v < xs[0] || v > xs[len(xs)-1] {
+			t.Fatalf("q=%v out of range: %v", q, v)
+		}
+		if !almost(v, q*1000, 1e-9) {
+			t.Fatalf("q=%v: got %v want %v", q, v, q*1000)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package trafficgen
+
+import (
+	"net/netip"
+	"time"
+
+	"natpeek/internal/dns"
+	"natpeek/internal/mac"
+	"natpeek/internal/packet"
+	"natpeek/internal/rng"
+)
+
+// Frame is one raw Ethernet frame with its capture direction and time,
+// produced by frame mode for the capture pipeline.
+type Frame struct {
+	Raw []byte
+	Up  bool // LAN → WAN
+	At  time.Time
+}
+
+// FrameOpts controls frame emission.
+type FrameOpts struct {
+	// GatewayMAC is the router's LAN-side address.
+	GatewayMAC mac.Addr
+	// DeviceIP is the LAN address of the flow's device.
+	DeviceIP netip.Addr
+	// RemoteIP is the server address the flow talks to. If unset, one is
+	// derived from the domain name.
+	RemoteIP netip.Addr
+	// ResolverIP is the upstream DNS server (default 8.8.8.8).
+	ResolverIP netip.Addr
+	// MaxDataPackets bounds emitted data frames per flow (default 40);
+	// byte counts are preserved by inflating the last packets' reported
+	// size only up to the MTU, so totals are approximate at small caps.
+	MaxDataPackets int
+	// MTU for data packets (default 1500).
+	MTU int
+}
+
+// FramesForFlow renders a FlowSpec as a realistic frame sequence: a DNS
+// lookup + response (so the capture's sniffer learns the IP→domain
+// binding), a TCP handshake, data packets in both directions, and a FIN.
+// It is used where the real capture path must be exercised end to end.
+func FramesForFlow(f FlowSpec, opts FrameOpts, rnd *rng.Stream) []Frame {
+	if opts.MaxDataPackets <= 0 {
+		opts.MaxDataPackets = 40
+	}
+	if opts.MTU <= 0 {
+		opts.MTU = 1500
+	}
+	if !opts.ResolverIP.IsValid() {
+		opts.ResolverIP = netip.MustParseAddr("8.8.8.8")
+	}
+	remote := opts.RemoteIP
+	if !remote.IsValid() {
+		remote = deriveRemoteIP(f.Domain, rnd)
+	}
+	devHW := f.Device.HW
+	gw := opts.GatewayMAC
+	devIP := opts.DeviceIP
+
+	var out []Frame
+	at := f.Start
+	bldUp := packet.NewBuilder(devHW, gw)
+	bldDown := packet.NewBuilder(gw, devHW)
+
+	// DNS query + response.
+	qid := uint16(rnd.Uint64())
+	dport := uint16(30000 + rnd.Intn(20000))
+	q := dns.NewQuery(qid, f.Domain, dns.TypeA)
+	out = append(out, Frame{bldUp.UDPv4(devIP, opts.ResolverIP, dport, 53, 64, q.Marshal()), true, at})
+	resp := dns.NewQuery(qid, f.Domain, dns.TypeA).Answer(dns.RR{
+		Name: f.Domain, Type: dns.TypeA, Class: dns.ClassIN, TTL: 300, Addr: remote,
+	})
+	at = at.Add(30 * time.Millisecond)
+	out = append(out, Frame{bldDown.UDPv4(opts.ResolverIP, devIP, 53, dport, 60, resp.Marshal()), false, at})
+
+	// TCP handshake.
+	sport := uint16(40000 + rnd.Intn(20000))
+	seq := uint32(rnd.Uint64())
+	at = at.Add(10 * time.Millisecond)
+	out = append(out, Frame{bldUp.TCPv4(devIP, remote, packet.TCP{
+		SrcPort: sport, DstPort: 443, Seq: seq, Flags: packet.FlagSYN, Window: 65535}, 64, nil), true, at})
+	at = at.Add(20 * time.Millisecond)
+	out = append(out, Frame{bldDown.TCPv4(remote, devIP, packet.TCP{
+		SrcPort: 443, DstPort: sport, Seq: 1, Ack: seq + 1,
+		Flags: packet.FlagSYN | packet.FlagACK, Window: 65535}, 60, nil), false, at})
+
+	// Data: split volumes across bounded packet counts.
+	span := f.End.Sub(f.Start)
+	if span <= 0 {
+		span = time.Minute
+	}
+	upLeft, downLeft := f.UpBytes, f.DownBytes
+	nPkts := opts.MaxDataPackets
+	payload := opts.MTU - 54 // eth+ip+tcp headers
+	for i := 0; i < nPkts && (upLeft > 0 || downLeft > 0); i++ {
+		at = f.Start.Add(time.Duration(float64(span) * float64(i+1) / float64(nPkts+1)))
+		if downLeft > 0 {
+			sz := int64(payload)
+			if sz > downLeft {
+				sz = downLeft
+			}
+			downLeft -= sz
+			out = append(out, Frame{bldDown.TCPv4(remote, devIP, packet.TCP{
+				SrcPort: 443, DstPort: sport, Flags: packet.FlagACK, Window: 65535}, 60,
+				make([]byte, sz)), false, at})
+		}
+		if upLeft > 0 {
+			sz := int64(payload)
+			if sz > upLeft {
+				sz = upLeft
+			}
+			upLeft -= sz
+			out = append(out, Frame{bldUp.TCPv4(devIP, remote, packet.TCP{
+				SrcPort: sport, DstPort: 443, Flags: packet.FlagACK, Window: 65535}, 64,
+				make([]byte, sz)), true, at})
+		}
+	}
+
+	// FIN.
+	out = append(out, Frame{bldUp.TCPv4(devIP, remote, packet.TCP{
+		SrcPort: sport, DstPort: 443, Flags: packet.FlagFIN | packet.FlagACK, Window: 65535}, 64, nil), true, f.End})
+	return out
+}
+
+// deriveRemoteIP maps a domain to a stable pseudo server address in
+// TEST-NET-3 space extended across 203.0.0.0/16.
+func deriveRemoteIP(domain string, rnd *rng.Stream) netip.Addr {
+	h := uint32(2166136261)
+	for i := 0; i < len(domain); i++ {
+		h = (h ^ uint32(domain[i])) * 16777619
+	}
+	return netip.AddrFrom4([4]byte{203, 0, byte(h >> 8), byte(h)})
+}

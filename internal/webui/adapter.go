@@ -1,0 +1,60 @@
+package webui
+
+import (
+	"sort"
+	"time"
+
+	"natpeek/internal/capmgmt"
+	"natpeek/internal/capture"
+)
+
+// MonitorUsage adapts a capture monitor and an optional cap manager into
+// the dashboard's Usage callback. now supplies the current time (so the
+// simulated clock works); nil means time.Now.
+func MonitorUsage(mon *capture.Monitor, caps *capmgmt.Manager, now func() time.Time) func() UsageSnapshot {
+	if now == nil {
+		now = time.Now
+	}
+	return func() UsageSnapshot {
+		at := now()
+		snap := UsageSnapshot{GeneratedAt: at}
+
+		devs := mon.Devices()
+		var total int64
+		for _, d := range devs {
+			total += d.Total()
+		}
+		for _, d := range devs {
+			row := DeviceRow{Device: d.Device.String(), Bytes: d.Total()}
+			if total > 0 {
+				row.Share = float64(d.Total()) / float64(total)
+			}
+			snap.Devices = append(snap.Devices, row)
+		}
+
+		byDomain := mon.DomainBytes()
+		for dom, b := range byDomain {
+			if dom == "" {
+				continue
+			}
+			snap.TopDomains = append(snap.TopDomains, DomainRow{Domain: dom, Bytes: b})
+		}
+		sort.Slice(snap.TopDomains, func(i, j int) bool {
+			if snap.TopDomains[i].Bytes != snap.TopDomains[j].Bytes {
+				return snap.TopDomains[i].Bytes > snap.TopDomains[j].Bytes
+			}
+			return snap.TopDomains[i].Domain < snap.TopDomains[j].Domain
+		})
+		if len(snap.TopDomains) > 20 {
+			snap.TopDomains = snap.TopDomains[:20]
+		}
+
+		if caps != nil {
+			snap.CapBytes = caps.Cap()
+			snap.UsedBytes = caps.Used()
+			snap.RemainingBytes = caps.Remaining()
+			snap.ProjectedBytes = caps.Projection(at)
+		}
+		return snap
+	}
+}

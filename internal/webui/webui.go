@@ -1,0 +1,241 @@
+// Package webui implements the router's built-in web interface. The
+// paper relied on it twice: consenting households got "access to a Web
+// interface that allowed them to observe and manage their usage over
+// time and across devices" (§3.2.2 — "quite useful for users who have
+// Internet service plans with low data caps"), and the DNS whitelist
+// could be extended with "any domains that users add to this list using
+// a Web interface built into our router firmware" (§6.4).
+//
+// The server renders a small HTML dashboard and a JSON API; its inputs
+// come through callbacks so it composes with the capture monitor and
+// cap manager without owning them.
+package webui
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"html/template"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"natpeek/internal/domains"
+)
+
+// DeviceRow is one device's usage for display.
+type DeviceRow struct {
+	Device string  `json:"device"` // anonymized MAC
+	Bytes  int64   `json:"bytes"`
+	Share  float64 `json:"share"`
+}
+
+// DomainRow is one domain's usage for display.
+type DomainRow struct {
+	Domain string `json:"domain"`
+	Bytes  int64  `json:"bytes"`
+}
+
+// UsageSnapshot is everything the dashboard shows.
+type UsageSnapshot struct {
+	GeneratedAt time.Time   `json:"generated_at"`
+	Devices     []DeviceRow `json:"devices"`
+	TopDomains  []DomainRow `json:"top_domains"`
+
+	// Cap status (zero CapBytes = uncapped plan).
+	CapBytes       int64 `json:"cap_bytes"`
+	UsedBytes      int64 `json:"used_bytes"`
+	RemainingBytes int64 `json:"remaining_bytes"`
+	ProjectedBytes int64 `json:"projected_bytes"`
+}
+
+// Config wires the server to its data sources.
+type Config struct {
+	// RouterID labels the dashboard.
+	RouterID string
+	// Usage produces the current snapshot.
+	Usage func() UsageSnapshot
+	// Whitelist manages the user-extendable domain whitelist; nil
+	// callbacks disable the endpoints.
+	GetWhitelist    func() []string
+	AddWhitelist    func(domain string) error
+	RemoveWhitelist func(domain string)
+}
+
+// Server is the router's web interface.
+type Server struct {
+	cfg  Config
+	http *http.Server
+	ln   net.Listener
+}
+
+// ErrBadDomain rejects malformed whitelist additions.
+var ErrBadDomain = errors.New("webui: malformed domain")
+
+// New starts the interface on addr ("127.0.0.1:0" for ephemeral).
+func New(addr string, cfg Config) (*Server, error) {
+	if cfg.Usage == nil {
+		return nil, errors.New("webui: Usage callback required")
+	}
+	s := &Server{cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleDashboard)
+	mux.HandleFunc("GET /api/usage", s.handleUsage)
+	mux.HandleFunc("GET /api/whitelist", s.handleWhitelistGet)
+	mux.HandleFunc("POST /api/whitelist", s.handleWhitelistAdd)
+	mux.HandleFunc("DELETE /api/whitelist", s.handleWhitelistRemove)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("webui: %w", err)
+	}
+	s.ln = ln
+	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go s.http.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.http.Close() }
+
+// SharePct renders the device's share as a percentage for the template.
+func (d DeviceRow) SharePct() string { return fmt.Sprintf("%.1f%%", d.Share*100) }
+
+var dashboardTmpl = template.Must(template.New("dash").Parse(`<!doctype html>
+<html><head><title>BISmark — {{.RouterID}}</title></head><body>
+<h1>Home network usage — {{.RouterID}}</h1>
+{{if gt .Snap.CapBytes 0}}
+<p><b>Data cap:</b> {{.Snap.UsedBytes}} of {{.Snap.CapBytes}} bytes used
+({{.Snap.RemainingBytes}} remaining, projected {{.Snap.ProjectedBytes}}).</p>
+{{else}}<p>Uncapped plan.</p>{{end}}
+<h2>By device</h2>
+<table border="1"><tr><th>device</th><th>bytes</th><th>share</th></tr>
+{{range .Snap.Devices}}<tr><td>{{.Device}}</td><td>{{.Bytes}}</td><td>{{.SharePct}}</td></tr>
+{{end}}</table>
+<h2>Top domains</h2>
+<table border="1"><tr><th>domain</th><th>bytes</th></tr>
+{{range .Snap.TopDomains}}<tr><td>{{.Domain}}</td><td>{{.Bytes}}</td></tr>
+{{end}}</table>
+<h2>Whitelist</h2>
+<p>{{len .Whitelist}} user-added domains (plus the Alexa 200).</p>
+</body></html>`))
+
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	snap := s.cfg.Usage()
+	var wl []string
+	if s.cfg.GetWhitelist != nil {
+		wl = s.cfg.GetWhitelist()
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	err := dashboardTmpl.Execute(w, map[string]any{
+		"RouterID":  s.cfg.RouterID,
+		"Snap":      snap,
+		"Whitelist": wl,
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleUsage(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.cfg.Usage())
+}
+
+func (s *Server) handleWhitelistGet(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.GetWhitelist == nil {
+		http.Error(w, "whitelist disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.cfg.GetWhitelist())
+}
+
+type whitelistReq struct {
+	Domain string `json:"domain"`
+}
+
+func (s *Server) handleWhitelistAdd(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.AddWhitelist == nil {
+		http.Error(w, "whitelist disabled", http.StatusNotFound)
+		return
+	}
+	var req whitelistReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.cfg.AddWhitelist(req.Domain); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleWhitelistRemove(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.RemoveWhitelist == nil {
+		http.Error(w, "whitelist disabled", http.StatusNotFound)
+		return
+	}
+	d := r.URL.Query().Get("domain")
+	if d == "" {
+		http.Error(w, "domain query parameter required", http.StatusBadRequest)
+		return
+	}
+	s.cfg.RemoveWhitelist(d)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// Whitelist is a concurrency-safe user whitelist the capture pipeline
+// and the web UI can share.
+type Whitelist struct {
+	mu      sync.Mutex
+	entries map[string]bool
+}
+
+// NewWhitelist returns an empty user whitelist.
+func NewWhitelist() *Whitelist {
+	return &Whitelist{entries: make(map[string]bool)}
+}
+
+// Add validates and inserts a domain. Domains already covered by the
+// built-in Alexa 200 are accepted as no-ops.
+func (wl *Whitelist) Add(domain string) error {
+	d := strings.ToLower(strings.TrimSuffix(strings.TrimSpace(domain), "."))
+	if d == "" || !strings.Contains(d, ".") || strings.ContainsAny(d, " /\\") {
+		return fmt.Errorf("%w: %q", ErrBadDomain, domain)
+	}
+	if domains.IsWhitelisted(d) {
+		return nil // already public
+	}
+	wl.mu.Lock()
+	defer wl.mu.Unlock()
+	wl.entries[d] = true
+	return nil
+}
+
+// Remove deletes a domain.
+func (wl *Whitelist) Remove(domain string) {
+	d := strings.ToLower(strings.TrimSpace(domain))
+	wl.mu.Lock()
+	defer wl.mu.Unlock()
+	delete(wl.entries, d)
+}
+
+// Snapshot returns the entries, sorted.
+func (wl *Whitelist) Snapshot() []string {
+	wl.mu.Lock()
+	defer wl.mu.Unlock()
+	out := make([]string, 0, len(wl.entries))
+	for d := range wl.entries {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,189 @@
+package webui
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"natpeek/internal/anonymize"
+	"natpeek/internal/capmgmt"
+	"natpeek/internal/capture"
+	"natpeek/internal/mac"
+	"natpeek/internal/packet"
+)
+
+var t0 = time.Date(2013, 4, 5, 12, 0, 0, 0, time.UTC)
+
+func staticUsage() UsageSnapshot {
+	return UsageSnapshot{
+		GeneratedAt: t0,
+		Devices: []DeviceRow{
+			{Device: "a4:b1:97:11:22:33", Bytes: 900, Share: 0.9},
+			{Device: "00:24:54:44:55:66", Bytes: 100, Share: 0.1},
+		},
+		TopDomains: []DomainRow{{Domain: "netflix.com", Bytes: 800}},
+		CapBytes:   1000, UsedBytes: 700, RemainingBytes: 300, ProjectedBytes: 950,
+	}
+}
+
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Usage == nil {
+		cfg.Usage = staticUsage
+	}
+	s, err := New("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestDashboardRenders(t *testing.T) {
+	s := startServer(t, Config{RouterID: "gw-1", GetWhitelist: func() []string { return []string{"x.example"} }})
+	resp, err := http.Get("http://" + s.Addr() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	body := buf.String()
+	for _, want := range []string{"gw-1", "netflix.com", "90.0%", "Data cap", "1 user-added"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("dashboard missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestUsageJSON(t *testing.T) {
+	s := startServer(t, Config{})
+	resp, err := http.Get("http://" + s.Addr() + "/api/usage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap UsageSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.CapBytes != 1000 || len(snap.Devices) != 2 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+}
+
+func TestWhitelistEndpoints(t *testing.T) {
+	wl := NewWhitelist()
+	s := startServer(t, Config{
+		GetWhitelist:    wl.Snapshot,
+		AddWhitelist:    wl.Add,
+		RemoveWhitelist: wl.Remove,
+	})
+	base := "http://" + s.Addr() + "/api/whitelist"
+
+	// Add.
+	resp, err := http.Post(base, "application/json", strings.NewReader(`{"domain":"myclinic.example"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("add status %d", resp.StatusCode)
+	}
+	// Get.
+	resp, err = http.Get(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if len(got) != 1 || got[0] != "myclinic.example" {
+		t.Fatalf("whitelist %v", got)
+	}
+	// Remove.
+	req, _ := http.NewRequest(http.MethodDelete, base+"?domain=myclinic.example", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(wl.Snapshot()) != 0 {
+		t.Fatal("remove failed")
+	}
+}
+
+func TestWhitelistRejectsBadDomains(t *testing.T) {
+	wl := NewWhitelist()
+	s := startServer(t, Config{AddWhitelist: wl.Add})
+	for _, body := range []string{`{"domain":""}`, `{"domain":"nodots"}`, `{"domain":"bad domain.example"}`, `not-json`} {
+		resp, err := http.Post("http://"+s.Addr()+"/api/whitelist", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestWhitelistDisabled(t *testing.T) {
+	s := startServer(t, Config{})
+	resp, err := http.Get("http://" + s.Addr() + "/api/whitelist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestWhitelistAlreadyPublicIsNoop(t *testing.T) {
+	wl := NewWhitelist()
+	if err := wl.Add("www.google.com"); err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Snapshot()) != 0 {
+		t.Fatal("public domain stored as user entry")
+	}
+}
+
+func TestMonitorUsageAdapter(t *testing.T) {
+	mon := capture.New(capture.Config{LANPrefix: netip.MustParsePrefix("192.168.1.0/24")},
+		anonymize.New([]byte("k")))
+	caps := capmgmt.New(capmgmt.Plan{MonthlyCapBytes: 1 << 30}, t0)
+
+	devHW := mac.MustParse("a4:b1:97:00:00:0a")
+	gwHW := mac.MustParse("20:4e:7f:00:00:01")
+	frame := packet.NewBuilder(devHW, gwHW).TCPv4(
+		netip.MustParseAddr("192.168.1.10"), netip.MustParseAddr("203.0.113.80"),
+		packet.TCP{SrcPort: 5000, DstPort: 443, Flags: packet.FlagACK}, 64, make([]byte, 1000))
+	mon.Process(frame, capture.Upstream, t0)
+	caps.Record(devHW, int64(len(frame)), t0)
+
+	snap := MonitorUsage(mon, caps, func() time.Time { return t0 })()
+	if len(snap.Devices) != 1 || snap.Devices[0].Share != 1 {
+		t.Fatalf("devices %+v", snap.Devices)
+	}
+	if snap.CapBytes != 1<<30 || snap.UsedBytes != int64(len(frame)) {
+		t.Fatalf("cap fields %+v", snap)
+	}
+	if snap.ProjectedBytes < snap.UsedBytes {
+		t.Fatal("projection below usage")
+	}
+}
+
+func TestMonitorUsageNoCaps(t *testing.T) {
+	mon := capture.New(capture.Config{LANPrefix: netip.MustParsePrefix("192.168.1.0/24")},
+		anonymize.New([]byte("k")))
+	snap := MonitorUsage(mon, nil, func() time.Time { return t0 })()
+	if snap.CapBytes != 0 || len(snap.Devices) != 0 {
+		t.Fatalf("empty snapshot %+v", snap)
+	}
+}

@@ -1,0 +1,56 @@
+// Package natpeek reproduces "Peeking Behind the NAT: An Empirical Study
+// of Home Networks" (Grover et al., IMC 2013): a BISmark-style gateway
+// measurement platform, a synthetic world standing in for the paper's
+// 126-home/19-country deployment, and the analysis pipeline that
+// regenerates every table and figure of the evaluation.
+//
+// Quick start:
+//
+//	study := natpeek.NewStudy(natpeek.StudyConfig{Seed: 1, Scale: 0.2})
+//	if err := study.Run(); err != nil { ... }
+//	study.WriteReports(os.Stdout)
+//
+// The heavy lifting lives in internal packages; this façade re-exports
+// the surface a downstream user needs: building/running studies, loading
+// and saving datasets, and regenerating exhibits.
+package natpeek
+
+import (
+	"time"
+
+	"natpeek/internal/core"
+	"natpeek/internal/figures"
+)
+
+// StudyConfig configures a reproduction run. The zero value runs the
+// paper's full deployment (126 homes, full Table 2 windows) from seed 0.
+type StudyConfig struct {
+	// Seed drives every random draw; a study is a pure function of it.
+	Seed uint64
+	// Scale multiplies the 126-router roster (use <1 for quick runs).
+	Scale float64
+	// TrafficHomes is the number of consenting US homes (default 25).
+	TrafficHomes int
+	// Short caps each collection window (0 = the paper's windows).
+	Short time.Duration
+}
+
+// Study is a reproduction run: a deployment, its collected datasets, and
+// the analysis that regenerates the paper's exhibits.
+type Study = core.Study
+
+// Report is one regenerated table or figure.
+type Report = figures.Report
+
+// NewStudy builds a deployment per cfg; call Run to collect data.
+func NewStudy(cfg StudyConfig) *Study {
+	return core.New(core.Config{
+		Seed:         cfg.Seed,
+		Scale:        cfg.Scale,
+		TrafficHomes: cfg.TrafficHomes,
+		Short:        cfg.Short,
+	})
+}
+
+// OpenStudy loads previously saved datasets (see Study.Save).
+func OpenStudy(dir string) (*Study, error) { return core.Open(dir) }

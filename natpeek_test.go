@@ -1,0 +1,37 @@
+package natpeek
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	study := NewStudy(StudyConfig{Seed: 11, Scale: 0.1, TrafficHomes: 2, Short: 7 * 24 * time.Hour})
+	if err := study.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := study.WriteReports(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Figure 6", "Figure 19", "paper:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+
+	dir := t.TempDir()
+	if err := study.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenStudy(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(re.Reports()) != 21 {
+		t.Fatal("reload broken")
+	}
+}
