@@ -1,0 +1,30 @@
+# Tier-1 verification plus the race/bench targets the telemetry PR added.
+#
+#   make check   # vet + build + tests with -race (what CI should run)
+#   make bench   # full reproduction driver (tables/figures + ablations)
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-telemetry
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# The telemetry-overhead gate: counter/gauge/histogram updates on the
+# capture hot path must stay cheap (< 25 ns/op for counter increments).
+bench-telemetry:
+	$(GO) test -run='^$$' -bench='BenchmarkTelemetry' -benchmem

@@ -10,33 +10,35 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"natpeek"
+	"natpeek/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("bismark-analyze: ")
-
 	data := flag.String("data", "data", "directory of CSV data sets")
 	only := flag.String("only", "", `regenerate a single exhibit, e.g. "Figure 19"`)
 	flag.Parse()
 
+	log := telemetry.SetupLogger("bismark-analyze")
+
 	study, err := natpeek.OpenStudy(*data)
 	if err != nil {
-		log.Fatalf("open: %v", err)
+		log.Error("open failed", "dir", *data, "err", err)
+		os.Exit(1)
 	}
 	if *only != "" {
 		r, err := study.Report(*only)
 		if err != nil {
-			log.Fatal(err)
+			log.Error("report failed", "id", *only, "err", err)
+			os.Exit(1)
 		}
 		fmt.Print(r.String())
 		return
 	}
 	if err := study.WriteReports(os.Stdout); err != nil {
-		log.Fatal(err)
+		log.Error("reports failed", "err", err)
+		os.Exit(1)
 	}
 }

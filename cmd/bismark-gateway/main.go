@@ -16,8 +16,8 @@ package main
 
 import (
 	"flag"
-	"log"
 	"net/netip"
+	"os"
 	"time"
 
 	"natpeek/internal/clock"
@@ -30,13 +30,11 @@ import (
 	"natpeek/internal/linksim"
 	"natpeek/internal/mac"
 	"natpeek/internal/rng"
+	"natpeek/internal/telemetry"
 	"natpeek/internal/wifi"
 )
 
 func main() {
-	log.SetFlags(log.Ltime)
-	log.SetPrefix("bismark-gateway: ")
-
 	id := flag.String("id", "bismark-US-900", "router identifier")
 	country := flag.String("country", "US", "deployment country code")
 	udp := flag.String("server-udp", "127.0.0.1:8077", "collection server heartbeat address")
@@ -44,15 +42,31 @@ func main() {
 	speedup := flag.Float64("speedup", 720, "simulated seconds per wall second")
 	duration := flag.Duration("duration", 30*time.Second, "wall-clock run time")
 	seed := flag.Uint64("seed", 42, "household seed")
+	debugAddr := flag.String("debug-addr", "", "optional listen address for /metrics and pprof (e.g. 127.0.0.1:9090)")
 	flag.Parse()
+
+	log := telemetry.SetupLogger("bismark-gateway")
+
+	if *debugAddr != "" {
+		dbg, err := telemetry.StartDebug(*debugAddr, nil)
+		if err != nil {
+			log.Error("debug listener failed", "err", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		log.Info("debug listener up", "metrics", "http://"+dbg.Addr()+"/metrics",
+			"pprof", "http://"+dbg.Addr()+"/debug/pprof/")
+	}
 
 	cty, ok := geo.Lookup(*country)
 	if !ok {
-		log.Fatalf("unknown country %q", *country)
+		log.Error("unknown country", "country", *country)
+		os.Exit(1)
 	}
 	cli, err := collector.NewClient(*id, *country, *udp, *httpAddr)
 	if err != nil {
-		log.Fatalf("connect: %v", err)
+		log.Error("connect failed", "err", err)
+		os.Exit(1)
 	}
 	defer cli.Close()
 
@@ -107,8 +121,8 @@ func main() {
 	})
 
 	agent.PowerOn(sched)
-	log.Printf("agent %s up: %d devices, link %.1f/%.1f Mbps, reporting to %s",
-		*id, len(home.Devices), home.UpBps/1e6, home.DownBps/1e6, *udp)
+	log.Info("agent up", "id", *id, "devices", len(home.Devices),
+		"up_mbps", home.UpBps/1e6, "down_mbps", home.DownBps/1e6, "server", *udp)
 
 	// Drive simulated time at the requested speedup.
 	wallStart := time.Now()
@@ -118,7 +132,10 @@ func main() {
 		clk.Advance(time.Duration(float64(tick) * *speedup))
 	}
 	agent.PowerOff(clk.Now())
+	if err := cli.Err(); err != nil {
+		log.Warn("some uploads failed", "last_err", err)
+	}
 	simSpan := clk.Now().Sub(start)
-	log.Printf("done: simulated %v of home time in %v",
-		simSpan.Round(time.Minute), time.Since(wallStart).Round(time.Second))
+	log.Info("done", "simulated", simSpan.Round(time.Minute).String(),
+		"wall", time.Since(wallStart).Round(time.Second).String())
 }

@@ -12,7 +12,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"net/netip"
 	"os"
 	"time"
@@ -24,50 +23,54 @@ import (
 	"natpeek/internal/mac"
 	"natpeek/internal/pcap"
 	"natpeek/internal/rng"
+	"natpeek/internal/telemetry"
 	"natpeek/internal/trafficgen"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("bismark-pcap: ")
-
 	in := flag.String("in", "", "pcap file to analyze")
 	lan := flag.String("lan", "192.168.1.0/24", "LAN prefix for direction inference and attribution")
 	demo := flag.Bool("demo", false, "first write a synthetic home trace to -in, then analyze it")
 	flows := flag.Int("flows", 15, "number of flows to print")
 	flag.Parse()
 
+	log := telemetry.SetupLogger("bismark-pcap")
+	fail := func(msg string, err error) {
+		log.Error(msg, "err", err)
+		os.Exit(1)
+	}
+
 	if *in == "" {
-		log.Fatal("-in required")
+		fail("-in required", nil)
 	}
 	prefix, err := netip.ParsePrefix(*lan)
 	if err != nil {
-		log.Fatalf("bad -lan: %v", err)
+		fail("bad -lan", err)
 	}
 	if *demo {
 		if err := writeDemoTrace(*in, prefix); err != nil {
-			log.Fatalf("demo trace: %v", err)
+			fail("demo trace", err)
 		}
-		log.Printf("demo trace written to %s", *in)
+		log.Info("demo trace written", "path", *in)
 	}
 
 	f, err := os.Open(*in)
 	if err != nil {
-		log.Fatal(err)
+		fail("open", err)
 	}
 	defer f.Close()
 	r, err := pcap.NewReader(f)
 	if err != nil {
-		log.Fatal(err)
+		fail("read pcap", err)
 	}
 	if r.LinkType != pcap.LinkTypeEthernet {
-		log.Fatalf("unsupported link type %d (want Ethernet)", r.LinkType)
+		fail(fmt.Sprintf("unsupported link type %d (want Ethernet)", r.LinkType), nil)
 	}
 
 	mon := capture.New(capture.Config{LANPrefix: prefix}, anonymize.New([]byte("bismark-pcap")))
 	n, err := mon.Replay(r)
 	if err != nil {
-		log.Fatalf("after %d frames: %v", n, err)
+		fail(fmt.Sprintf("replay stopped after %d frames", n), err)
 	}
 
 	fmt.Printf("%d frames\n\n", n)

@@ -2,6 +2,11 @@
 // router heartbeats and an HTTP API for measurement uploads. On SIGINT it
 // persists everything it collected as CSV data sets.
 //
+// Observability: the HTTP listener also serves GET /metrics (Prometheus
+// text format), GET /healthz (uptime, heartbeat-port status, row counts),
+// and the pprof handlers under /debug/pprof/. Logging is structured
+// (slog); tune with NATPEEK_LOG_LEVEL / NATPEEK_LOG_FORMAT.
+//
 // Usage:
 //
 //	bismark-server -udp 127.0.0.1:8077 -http 127.0.0.1:8080 -out ./live-data
@@ -9,7 +14,6 @@ package main
 
 import (
 	"flag"
-	"log"
 	"os"
 	"os/signal"
 	"syscall"
@@ -17,24 +21,30 @@ import (
 
 	"natpeek/internal/collector"
 	"natpeek/internal/dataset"
+	"natpeek/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(log.Ltime)
-	log.SetPrefix("bismark-server: ")
-
 	udp := flag.String("udp", "127.0.0.1:8077", "UDP address for heartbeats")
-	httpAddr := flag.String("http", "127.0.0.1:8080", "HTTP address for measurement uploads")
+	httpAddr := flag.String("http", "127.0.0.1:8080", "HTTP address for measurement uploads, /metrics, /healthz, and pprof")
 	out := flag.String("out", "live-data", "directory to persist data sets on shutdown")
 	statsEvery := flag.Duration("stats-every", 30*time.Second, "how often to log collection progress")
 	flag.Parse()
 
+	log := telemetry.SetupLogger("bismark-server")
+
 	store := dataset.NewStore()
 	srv, err := collector.NewServer(*udp, *httpAddr, store)
 	if err != nil {
-		log.Fatalf("start: %v", err)
+		log.Error("start failed", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("heartbeats on udp://%s, uploads on http://%s", srv.UDPAddr(), srv.HTTPAddr())
+	log.Info("listening",
+		"heartbeats", "udp://"+srv.UDPAddr(),
+		"uploads", "http://"+srv.HTTPAddr(),
+		"metrics", "http://"+srv.HTTPAddr()+"/metrics",
+		"healthz", "http://"+srv.HTTPAddr()+"/healthz",
+		"pprof", "http://"+srv.HTTPAddr()+"/debug/pprof/")
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -48,14 +58,19 @@ func main() {
 			for _, id := range store.Heartbeats.Routers() {
 				beats += store.Heartbeats.Count(id)
 			}
-			log.Printf("routers=%d heartbeats=%d uptime=%d capacity=%d counts=%d wifi=%d flows=%d",
-				len(store.RouterCountry), beats, len(store.Uptime), len(store.Capacity),
-				len(store.Counts), len(store.WiFi), len(store.Flows))
+			log.Info("collection progress",
+				"routers", len(store.RouterCountry), "heartbeats", beats,
+				"uptime", len(store.Uptime), "capacity", len(store.Capacity),
+				"counts", len(store.Counts), "wifi", len(store.WiFi),
+				"flows", len(store.Flows))
 		case <-stop:
-			log.Printf("shutting down, persisting to %s", *out)
-			srv.Close()
+			log.Info("shutting down", "out", *out)
+			if err := srv.Close(); err != nil {
+				log.Warn("close", "err", err)
+			}
 			if err := store.Save(*out); err != nil {
-				log.Fatalf("save: %v", err)
+				log.Error("save failed", "err", err)
+				os.Exit(1)
 			}
 			return
 		}

@@ -2,33 +2,49 @@
 // for the paper's 126-home fleet — and writes the six Table 2 data sets
 // as CSV for bismark-analyze.
 //
+// With -debug-addr set, a /metrics + pprof listener runs for the
+// duration of the simulation; natpeek_sim_homes_done_total,
+// natpeek_sim_time_seconds, and natpeek_sim_events_total show live
+// progress of a long run (events/sec is the rate of the events counter).
+//
 // Usage:
 //
 //	bismark-sim -seed 1 -scale 1.0 -out ./data
-//	bismark-sim -seed 7 -scale 0.25 -short 336h -out ./data-quick
+//	bismark-sim -seed 7 -scale 0.25 -short 336h -out ./data-quick -debug-addr 127.0.0.1:9091
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"time"
 
 	"natpeek"
+	"natpeek/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("bismark-sim: ")
-
 	seed := flag.Uint64("seed", 1, "random seed; runs are pure functions of it")
 	scale := flag.Float64("scale", 1.0, "deployment scale (1.0 = the paper's 126 routers)")
 	trafficHomes := flag.Int("traffic-homes", 25, "consenting US homes contributing Traffic data")
 	short := flag.Duration("short", 0, "cap each collection window (0 = the paper's full windows)")
 	out := flag.String("out", "data", "output directory for the CSV data sets")
 	report := flag.Bool("report", false, "also print every regenerated table and figure")
+	debugAddr := flag.String("debug-addr", "", "optional listen address for /metrics and pprof during the run")
 	flag.Parse()
+
+	log := telemetry.SetupLogger("bismark-sim")
+
+	if *debugAddr != "" {
+		dbg, err := telemetry.StartDebug(*debugAddr, nil)
+		if err != nil {
+			log.Error("debug listener failed", "err", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		log.Info("debug listener up", "metrics", "http://"+dbg.Addr()+"/metrics",
+			"pprof", "http://"+dbg.Addr()+"/debug/pprof/")
+	}
 
 	start := time.Now()
 	study := natpeek.NewStudy(natpeek.StudyConfig{
@@ -37,30 +53,34 @@ func main() {
 		TrafficHomes: *trafficHomes,
 		Short:        *short,
 	})
-	log.Printf("deployment built: %d homes in 19 countries", len(study.World.Homes))
+	log.Info("deployment built", "homes", len(study.World.Homes), "countries", 19)
 	if err := study.Run(); err != nil {
-		log.Fatalf("run: %v", err)
+		log.Error("run failed", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("collection finished in %v", time.Since(start).Round(time.Millisecond))
+	log.Info("collection finished", "took", time.Since(start).Round(time.Millisecond).String())
 
 	st := study.Store
 	beats := 0
 	for _, id := range st.Heartbeats.Routers() {
 		beats += st.Heartbeats.Count(id)
 	}
-	log.Printf("datasets: heartbeats=%d uptime=%d capacity=%d counts=%d sightings=%d wifi=%d flows=%d throughput=%d",
-		beats, len(st.Uptime), len(st.Capacity), len(st.Counts),
-		len(st.Sightings), len(st.WiFi), len(st.Flows), len(st.Throughput))
+	log.Info("datasets",
+		"heartbeats", beats, "uptime", len(st.Uptime), "capacity", len(st.Capacity),
+		"counts", len(st.Counts), "sightings", len(st.Sightings), "wifi", len(st.WiFi),
+		"flows", len(st.Flows), "throughput", len(st.Throughput))
 
 	if err := study.Save(*out); err != nil {
-		log.Fatalf("save: %v", err)
+		log.Error("save failed", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("data sets written to %s", *out)
+	log.Info("data sets written", "dir", *out)
 
 	if *report {
 		fmt.Println()
 		if err := study.WriteReports(os.Stdout); err != nil {
-			log.Fatalf("report: %v", err)
+			log.Error("report failed", "err", err)
+			os.Exit(1)
 		}
 	}
 }

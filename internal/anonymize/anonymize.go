@@ -40,6 +40,11 @@ func New(key []byte) *Policy {
 // MAC anonymizes a hardware address (OUI preserved, NIC hashed).
 func (p *Policy) MAC(a mac.Addr) mac.Addr { return p.macs.Anonymize(a) }
 
+// MACCacheSize returns the number of memoized MAC pseudonyms (one per
+// distinct device seen under this policy) — exported by the capture
+// pipeline as its anonymization-cache gauge.
+func (p *Policy) MACCacheSize() int { return p.macs.CacheSize() }
+
 // Domain returns the name unchanged when it (or a parent) is whitelisted,
 // and an opaque stable token ("anon-<12 hex>") otherwise. The paper:
 // "We anonymize traffic to any domain name that is not in the Alexa top

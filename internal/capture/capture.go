@@ -28,6 +28,7 @@ import (
 	"natpeek/internal/mac"
 	"natpeek/internal/packet"
 	"natpeek/internal/pcap"
+	"natpeek/internal/telemetry"
 )
 
 // Dir is the packet direction relative to the home.
@@ -109,6 +110,18 @@ type Monitor struct {
 	devs   map[mac.Addr]*DeviceStats
 	perSec map[Dir]*secondTracker
 	trace  *pcap.Writer
+
+	// Hot-path telemetry, resolved once at New: each Process call costs
+	// two atomic adds plus occasional gauge stores on flow-table changes.
+	// The counters aggregate across every monitor in the process (the
+	// whole simulated fleet, or the one live gateway).
+	mPackets  *telemetry.Counter
+	mBytes    *telemetry.Counter
+	mFinished *telemetry.Counter
+	mEvicted  *telemetry.Counter
+	gFlows    *telemetry.Gauge
+	gAnon     *telemetry.Gauge
+	anonSeen  int // last MACCacheSize pushed into gAnon (delta updates)
 }
 
 // SetTrace mirrors every processed frame into a pcap stream (tcpdump/
@@ -151,6 +164,7 @@ func New(cfg Config, policy *anonymize.Policy) *Monitor {
 	if cfg.MaxFlows <= 0 {
 		cfg.MaxFlows = 65536
 	}
+	reg := telemetry.Default
 	return &Monitor{
 		cfg:   cfg,
 		anon:  policy,
@@ -161,6 +175,18 @@ func New(cfg Config, policy *anonymize.Policy) *Monitor {
 			Upstream:   {},
 			Downstream: {},
 		},
+		mPackets: reg.Counter("natpeek_capture_packets_total",
+			"Frames processed by the passive capture pipeline."),
+		mBytes: reg.Counter("natpeek_capture_bytes_total",
+			"IP payload bytes seen by the passive capture pipeline."),
+		mFinished: reg.Counter("natpeek_capture_flows_finished_total",
+			"Flows moved to the finished list by idle timeout."),
+		mEvicted: reg.Counter("natpeek_capture_flows_evicted_total",
+			"Flows force-evicted because the flow table hit MaxFlows."),
+		gFlows: reg.Gauge("natpeek_capture_active_flows",
+			"Live flow-table entries across all capture monitors."),
+		gAnon: reg.Gauge("natpeek_capture_anon_cache_entries",
+			"Memoized MAC pseudonyms across all capture monitors."),
 	}
 }
 
@@ -172,12 +198,14 @@ func (m *Monitor) Process(raw []byte, dir Dir, now time.Time) {
 		// Trace before any filtering: a capture file records the wire.
 		_ = m.trace.WritePacket(pcap.Packet{At: now, Data: raw})
 	}
+	m.mPackets.Inc()
 	p, err := packet.Decode(raw)
 	if err != nil || (p.IP4 == nil && p.IP6 == nil) {
 		return // non-IP or undecodable frames carry no usage signal
 	}
 
 	size := int64(p.Len())
+	m.mBytes.Add(size)
 	m.perSec[dir].add(now, size)
 
 	// Identify the device and the remote endpoint.
@@ -211,6 +239,12 @@ func (m *Monitor) Process(raw []byte, dir Dir, now time.Time) {
 	if !ok {
 		ds = &DeviceStats{Device: dev, FirstSeen: now}
 		m.devs[dev] = ds
+		// New device ⇒ the anonymizer may have grown; push the delta so
+		// the gauge stays an exact sum across monitors.
+		if n := m.anon.MACCacheSize(); n != m.anonSeen {
+			m.gAnon.Add(float64(n - m.anonSeen))
+			m.anonSeen = n
+		}
 	}
 	ds.LastSeen = now
 	if dir == Upstream {
@@ -244,6 +278,7 @@ func (m *Monitor) Process(raw []byte, dir Dir, now time.Time) {
 		}
 		f = &Flow{Key: key, First: now}
 		m.flows[key] = f
+		m.gFlows.Add(1)
 	}
 	f.Last = now
 	if domain != "" {
@@ -268,6 +303,8 @@ func (m *Monitor) evictOldest() {
 	if oldest != nil {
 		delete(m.flows, oldest.Key)
 		m.done = append(m.done, oldest)
+		m.mEvicted.Inc()
+		m.gFlows.Add(-1)
 	}
 }
 
@@ -281,6 +318,10 @@ func (m *Monitor) ExpireFlows(now time.Time) int {
 			m.done = append(m.done, f)
 			n++
 		}
+	}
+	if n > 0 {
+		m.mFinished.Add(int64(n))
+		m.gFlows.Add(float64(-n))
 	}
 	return n
 }

@@ -4,12 +4,20 @@
 // gateway.Sink over the network, so the same agent code that runs in the
 // simulator can report to a real server (cmd/bismark-gateway →
 // cmd/bismark-server).
+//
+// The server is instrumented end to end: every /v1/* endpoint counts
+// requests, decode errors, payload bytes, and latency; the telemetry
+// registry is exposed at /metrics (Prometheus text format) alongside
+// /healthz and the pprof handlers. See DESIGN.md §"Operating the
+// platform" for the metric names.
 package collector
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync"
@@ -17,7 +25,12 @@ import (
 
 	"natpeek/internal/dataset"
 	"natpeek/internal/heartbeat"
+	"natpeek/internal/telemetry"
 )
+
+// closeTimeout bounds how long Close waits for in-flight uploads before
+// force-closing connections.
+const closeTimeout = 3 * time.Second
 
 // Server is the collection server.
 type Server struct {
@@ -27,6 +40,18 @@ type Server struct {
 	hbRx *heartbeat.Receiver
 	http *http.Server
 	ln   net.Listener
+	log  *slog.Logger
+
+	startedAt time.Time
+
+	mReqs       *telemetry.CounterVec
+	mDecodeErrs *telemetry.CounterVec
+	mPayload    *telemetry.CounterVec
+	hLatency    *telemetry.HistogramVec
+
+	closeOnce sync.Once
+	closeErr  error
+	closed    chan struct{}
 }
 
 // NewServer starts a collection server with a UDP heartbeat port and an
@@ -36,7 +61,21 @@ func NewServer(udpAddr, httpAddr string, store *dataset.Store) (*Server, error) 
 	if store == nil {
 		store = dataset.NewStore()
 	}
-	s := &Server{store: store}
+	reg := telemetry.Default
+	s := &Server{
+		store:     store,
+		log:       slog.Default().With("component", "collector"),
+		startedAt: time.Now(),
+		closed:    make(chan struct{}),
+		mReqs: reg.CounterVec("natpeek_http_requests_total",
+			"Upload API requests received, per endpoint.", "endpoint"),
+		mDecodeErrs: reg.CounterVec("natpeek_http_decode_errors_total",
+			"Upload API requests rejected with a body decode error, per endpoint.", "endpoint"),
+		mPayload: reg.CounterVec("natpeek_http_payload_bytes_total",
+			"Upload API request payload bytes received, per endpoint.", "endpoint"),
+		hLatency: reg.HistogramVec("natpeek_http_request_seconds",
+			"Upload API request handling latency.", nil, "endpoint"),
+	}
 	rx, err := heartbeat.NewReceiver(udpAddr, store.Heartbeats, nil)
 	if err != nil {
 		return nil, err
@@ -44,24 +83,29 @@ func NewServer(udpAddr, httpAddr string, store *dataset.Store) (*Server, error) 
 	s.hbRx = rx
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/register", s.handleRegister)
-	mux.HandleFunc("POST /v1/uptime", jsonHandler(s, func(st *dataset.Store, r dataset.UptimeReport) {
+	handle := func(endpoint string, h http.HandlerFunc) {
+		mux.HandleFunc("POST "+endpoint, s.instrument(endpoint, h))
+	}
+	handle("/v1/register", s.handleRegister)
+	handle("/v1/uptime", jsonHandler(s, "/v1/uptime", func(st *dataset.Store, r dataset.UptimeReport) {
 		st.Uptime = append(st.Uptime, r)
 	}))
-	mux.HandleFunc("POST /v1/capacity", jsonHandler(s, func(st *dataset.Store, c dataset.CapacityMeasure) {
+	handle("/v1/capacity", jsonHandler(s, "/v1/capacity", func(st *dataset.Store, c dataset.CapacityMeasure) {
 		st.Capacity = append(st.Capacity, c)
 	}))
-	mux.HandleFunc("POST /v1/devices", s.handleDevices)
-	mux.HandleFunc("POST /v1/wifi", jsonHandler(s, func(st *dataset.Store, scans []dataset.WiFiScan) {
+	handle("/v1/devices", s.handleDevices)
+	handle("/v1/wifi", jsonHandler(s, "/v1/wifi", func(st *dataset.Store, scans []dataset.WiFiScan) {
 		st.WiFi = append(st.WiFi, scans...)
 	}))
-	mux.HandleFunc("POST /v1/traffic/flows", jsonHandler(s, func(st *dataset.Store, fl []dataset.FlowRecord) {
+	handle("/v1/traffic/flows", jsonHandler(s, "/v1/traffic/flows", func(st *dataset.Store, fl []dataset.FlowRecord) {
 		st.Flows = append(st.Flows, fl...)
 	}))
-	mux.HandleFunc("POST /v1/traffic/throughput", jsonHandler(s, func(st *dataset.Store, ts []dataset.ThroughputSample) {
+	handle("/v1/traffic/throughput", jsonHandler(s, "/v1/traffic/throughput", func(st *dataset.Store, ts []dataset.ThroughputSample) {
 		st.Throughput = append(st.Throughput, ts...)
 	}))
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	telemetry.RegisterDebug(mux, reg)
 
 	ln, err := net.Listen("tcp", httpAddr)
 	if err != nil {
@@ -71,6 +115,7 @@ func NewServer(udpAddr, httpAddr string, store *dataset.Store) (*Server, error) 
 	s.ln = ln
 	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	go s.http.Serve(ln)
+	s.log.Debug("listening", "udp", s.UDPAddr(), "http", s.HTTPAddr())
 	return s, nil
 }
 
@@ -84,16 +129,54 @@ func (s *Server) HTTPAddr() string { return s.ln.Addr().String() }
 // while the server is running; use Snapshot-style access after Close.
 func (s *Server) Store() *dataset.Store { return s.store }
 
-// Close shuts the server down.
+// Close shuts the server down gracefully: the heartbeat socket stops
+// immediately, while in-flight uploads get closeTimeout to finish
+// decoding before their connections are force-closed. Close is
+// idempotent; the TCP listener is closed exactly once (by Shutdown).
 func (s *Server) Close() error {
-	s.hbRx.Close()
-	return s.http.Close()
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		err := s.hbRx.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), closeTimeout)
+		defer cancel()
+		if serr := s.http.Shutdown(ctx); serr != nil {
+			// Drain window expired; drop whatever is still in flight.
+			s.log.Warn("graceful shutdown incomplete, force-closing", "err", serr)
+			cerr := s.http.Close()
+			if err == nil {
+				err = serr
+			}
+			_ = cerr
+		}
+		s.closeErr = err
+	})
+	return s.closeErr
 }
 
-func jsonHandler[T any](s *Server, apply func(*dataset.Store, T)) http.HandlerFunc {
+// instrument wraps an endpoint handler with the request/latency/payload
+// metrics. Metric handles are resolved once per endpoint at mux build
+// time, so the per-request cost is three atomic updates and a clock read.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := s.mReqs.With(endpoint)
+	payload := s.mPayload.With(endpoint)
+	lat := s.hLatency.With(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqs.Inc()
+		if r.ContentLength > 0 {
+			payload.Add(r.ContentLength)
+		}
+		h(w, r)
+		lat.Observe(time.Since(start).Seconds())
+	}
+}
+
+func jsonHandler[T any](s *Server, endpoint string, apply func(*dataset.Store, T)) http.HandlerFunc {
+	decodeErrs := s.mDecodeErrs.With(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
 		var v T
 		if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+			decodeErrs.Inc()
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -112,6 +195,7 @@ type registerReq struct {
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req registerReq
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.RouterID == "" {
+		s.mDecodeErrs.With("/v1/register").Inc()
 		http.Error(w, "bad register", http.StatusBadRequest)
 		return
 	}
@@ -129,6 +213,7 @@ type censusUpload struct {
 func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
 	var up censusUpload
 	if err := json.NewDecoder(r.Body).Decode(&up); err != nil {
+		s.mDecodeErrs.With("/v1/devices").Inc()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -152,8 +237,9 @@ type Stats struct {
 	Throughput int `json:"throughput_samples"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) stats() Stats {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	st := Stats{
 		Routers:    len(s.store.RouterCountry),
 		Uptime:     len(s.store.Uptime),
@@ -167,9 +253,41 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, id := range s.store.Heartbeats.Routers() {
 		st.Heartbeats += s.store.Heartbeats.Count(id)
 	}
-	s.mu.Unlock()
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(st)
+	json.NewEncoder(w).Encode(s.stats())
+}
+
+// Health is the /healthz response: liveness plus enough state to see at
+// a glance whether the deployment is actually reporting.
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	HeartbeatAddr string  `json:"heartbeat_addr"`
+	HeartbeatBad  int     `json:"heartbeat_bad_datagrams"`
+	HTTPAddr      string  `json:"http_addr"`
+	Rows          Stats   `json:"rows"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := Health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.startedAt).Seconds(),
+		HeartbeatAddr: s.UDPAddr(),
+		HeartbeatBad:  s.hbRx.BadDatagrams(),
+		HTTPAddr:      s.HTTPAddr(),
+		Rows:          s.stats(),
+	}
+	select {
+	case <-s.closed:
+		h.Status = "closing"
+	default:
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h)
 }
 
 // Client reports a gateway's measurements to a Server over the network.
@@ -179,6 +297,12 @@ type Client struct {
 	baseURL  string
 	hb       *heartbeat.Sender
 	httpc    *http.Client
+
+	mUploads  *telemetry.CounterVec
+	mFailures *telemetry.CounterVec
+
+	mu      sync.Mutex
+	lastErr error
 }
 
 // NewClient dials the server. udpAddr receives heartbeats, httpAddr the
@@ -188,11 +312,16 @@ func NewClient(routerID, country, udpAddr, httpAddr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := telemetry.Default
 	c := &Client{
 		routerID: routerID,
 		baseURL:  "http://" + httpAddr,
 		hb:       hb,
 		httpc:    &http.Client{Timeout: 10 * time.Second},
+		mUploads: reg.CounterVec("natpeek_client_uploads_total",
+			"Upload attempts from this process's collector clients, per endpoint.", "endpoint"),
+		mFailures: reg.CounterVec("natpeek_client_upload_failures_total",
+			"Failed upload attempts, per endpoint.", "endpoint"),
 	}
 	if err := c.post("/v1/register", registerReq{RouterID: routerID, Country: country}); err != nil {
 		hb.Close()
@@ -204,25 +333,50 @@ func NewClient(routerID, country, udpAddr, httpAddr string) (*Client, error) {
 // Close releases the client's sockets.
 func (c *Client) Close() error { return c.hb.Close() }
 
+// Err returns the most recent upload or heartbeat error, or nil if no
+// attempt has failed yet. Uploads stay fire-and-forget on the measurement
+// path (gateway.Sink has no error returns, matching the firmware), but
+// the failure is no longer invisible: it lands here and in
+// natpeek_client_upload_failures_total.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastErr
+}
+
+func (c *Client) fail(endpoint string, err error) error {
+	c.mFailures.With(endpoint).Inc()
+	c.mu.Lock()
+	c.lastErr = err
+	c.mu.Unlock()
+	return err
+}
+
 func (c *Client) post(path string, v any) error {
+	c.mUploads.With(path).Inc()
 	body, err := json.Marshal(v)
 	if err != nil {
-		return err
+		return c.fail(path, err)
 	}
 	resp, err := c.httpc.Post(c.baseURL+path, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return fmt.Errorf("collector: POST %s: %w", path, err)
+		return c.fail(path, fmt.Errorf("collector: POST %s: %w", path, err))
 	}
 	resp.Body.Close()
 	if resp.StatusCode >= 300 {
-		return fmt.Errorf("collector: POST %s: status %d", path, resp.StatusCode)
+		return c.fail(path, fmt.Errorf("collector: POST %s: status %d", path, resp.StatusCode))
 	}
 	return nil
 }
 
 // Heartbeat implements gateway.Sink. Errors are dropped by design —
-// heartbeats are fire-and-forget.
-func (c *Client) Heartbeat(_ string, at time.Time) { _ = c.hb.Send(at) }
+// heartbeats are fire-and-forget — but counted.
+func (c *Client) Heartbeat(_ string, at time.Time) {
+	c.mUploads.With("heartbeat").Inc()
+	if err := c.hb.Send(at); err != nil {
+		_ = c.fail("heartbeat", err)
+	}
+}
 
 // UptimeReport implements gateway.Sink.
 func (c *Client) UptimeReport(r dataset.UptimeReport) { _ = c.post("/v1/uptime", r) }

@@ -1,0 +1,273 @@
+package collector
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"natpeek/internal/dataset"
+)
+
+// scrape fetches and minimally parses /metrics: every non-comment line
+// must be `series value`, which is what a Prometheus scraper requires.
+func scrape(t *testing.T, httpAddr string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get("http://" + httpAddr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content-type %q", ct)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestStatsEndpointRowCounts(t *testing.T) {
+	srv, cli := startPair(t)
+	cli.UptimeReport(dataset.UptimeReport{RouterID: "router-1", ReportedAt: t0, Uptime: time.Hour})
+	cli.WiFiScan([]dataset.WiFiScan{{RouterID: "router-1", At: t0}})
+
+	resp, err := http.Get("http://" + srv.HTTPAddr() + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Routers != 1 || st.Uptime != 1 || st.WiFi != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	srv, cli := startPair(t)
+	cli.UptimeReport(dataset.UptimeReport{RouterID: "router-1", ReportedAt: t0})
+
+	resp, err := http.Get("http://" + srv.HTTPAddr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status = %q", h.Status)
+	}
+	if h.UptimeSeconds < 0 {
+		t.Fatalf("uptime = %v", h.UptimeSeconds)
+	}
+	if h.HeartbeatAddr != srv.UDPAddr() || h.HTTPAddr != srv.HTTPAddr() {
+		t.Fatalf("addrs = %+v", h)
+	}
+	if h.Rows.Uptime != 1 || h.Rows.Routers != 1 {
+		t.Fatalf("rows = %+v", h.Rows)
+	}
+}
+
+// TestMetricsExposition drives an upload burst and checks that the
+// counters appear on /metrics in parseable form and move monotonically
+// under a second burst.
+func TestMetricsExposition(t *testing.T) {
+	srv, cli := startPair(t)
+
+	burst := func() {
+		for i := 0; i < 5; i++ {
+			cli.Heartbeat("router-1", time.Now())
+			cli.UptimeReport(dataset.UptimeReport{RouterID: "router-1", ReportedAt: t0})
+			cli.WiFiScan([]dataset.WiFiScan{{RouterID: "router-1", At: t0}})
+		}
+	}
+	before := srv.Store().Heartbeats.Count("router-1")
+	burst()
+	waitFor(t, func() bool { return srv.Store().Heartbeats.Count("router-1") >= before+5 })
+
+	m1 := scrape(t, srv.HTTPAddr())
+	checks := []string{
+		"natpeek_heartbeats_received_total",
+		`natpeek_http_requests_total{endpoint="/v1/uptime"}`,
+		`natpeek_http_requests_total{endpoint="/v1/wifi"}`,
+		`natpeek_http_payload_bytes_total{endpoint="/v1/uptime"}`,
+		`natpeek_http_request_seconds_count{endpoint="/v1/uptime"}`,
+		`natpeek_client_uploads_total{endpoint="/v1/uptime"}`,
+		`natpeek_client_uploads_total{endpoint="heartbeat"}`,
+	}
+	for _, k := range checks {
+		if m1[k] <= 0 {
+			t.Errorf("%s = %v, want > 0", k, m1[k])
+		}
+	}
+	if _, ok := m1[`natpeek_heartbeat_last_seen_seconds{router="router-1"}`]; !ok {
+		t.Error("per-router last-seen gauge missing")
+	}
+
+	before = srv.Store().Heartbeats.Count("router-1")
+	burst()
+	waitFor(t, func() bool { return srv.Store().Heartbeats.Count("router-1") >= before+5 })
+	m2 := scrape(t, srv.HTTPAddr())
+	for _, k := range checks {
+		if m2[k] < m1[k] {
+			t.Errorf("%s went backwards: %v -> %v", k, m1[k], m2[k])
+		}
+	}
+	if m2[`natpeek_http_requests_total{endpoint="/v1/uptime"}`] <
+		m1[`natpeek_http_requests_total{endpoint="/v1/uptime"}`]+5 {
+		t.Errorf("uptime request counter did not advance by the burst size: %v -> %v",
+			m1[`natpeek_http_requests_total{endpoint="/v1/uptime"}`],
+			m2[`natpeek_http_requests_total{endpoint="/v1/uptime"}`])
+	}
+}
+
+func TestMalformedHeartbeatAndDecodeErrorCounted(t *testing.T) {
+	srv, _ := startPair(t)
+	m0 := scrape(t, srv.HTTPAddr())
+
+	// Undecodable JSON on an upload endpoint.
+	resp, err := http.Post("http://"+srv.HTTPAddr()+"/v1/uptime", "application/json",
+		strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("decode error status = %d", resp.StatusCode)
+	}
+
+	// Raw garbage datagram on the heartbeat port.
+	udp, err := net.Dial("udp", srv.UDPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	udp.Write([]byte("definitely not a heartbeat"))
+	udp.Close()
+
+	waitFor(t, func() bool { return srv.hbRx.BadDatagrams() >= 1 })
+	m1 := scrape(t, srv.HTTPAddr())
+	if m1["natpeek_heartbeats_malformed_total"] < m0["natpeek_heartbeats_malformed_total"]+1 {
+		t.Errorf("malformed counter: %v -> %v",
+			m0["natpeek_heartbeats_malformed_total"], m1["natpeek_heartbeats_malformed_total"])
+	}
+	key := `natpeek_http_decode_errors_total{endpoint="/v1/uptime"}`
+	if m1[key] < m0[key]+1 {
+		t.Errorf("decode error counter: %v -> %v", m0[key], m1[key])
+	}
+}
+
+// TestConcurrentHeartbeatsAndUploads exercises the heartbeat receiver,
+// the upload handlers, and the shared counters from many goroutines at
+// once; run with -race it proves the telemetry layer is data-race free
+// on the serving path.
+func TestConcurrentHeartbeatsAndUploads(t *testing.T) {
+	srv, _ := startPair(t)
+
+	const routers, perRouter = 8, 20
+	var wg sync.WaitGroup
+	for i := 0; i < routers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("rt-%d", i)
+			cli, err := NewClient(id, "US", srv.UDPAddr(), srv.HTTPAddr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cli.Close()
+			for j := 0; j < perRouter; j++ {
+				cli.Heartbeat(id, time.Now())
+				cli.UptimeReport(dataset.UptimeReport{RouterID: id, ReportedAt: t0})
+				cli.WiFiScan([]dataset.WiFiScan{{RouterID: id, At: t0}})
+			}
+		}(i)
+	}
+	// Scrape concurrently with the upload storm.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			scrape(t, srv.HTTPAddr())
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	st := srv.Store()
+	if got := len(st.Uptime); got != routers*perRouter {
+		t.Fatalf("uptime rows = %d, want %d", got, routers*perRouter)
+	}
+	waitFor(t, func() bool {
+		total := 0
+		for _, id := range st.Heartbeats.Routers() {
+			total += st.Heartbeats.Count(id)
+		}
+		return total >= routers*perRouter
+	})
+}
+
+func TestCloseGracefulAndIdempotent(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if d := time.Since(start); d > closeTimeout {
+		t.Fatalf("idle close took %v", d)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := http.Get("http://" + srv.HTTPAddr() + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after Close")
+	}
+}
+
+func TestClientErrSurfacesFailures(t *testing.T) {
+	srv, cli := startPair(t)
+	if cli.Err() != nil {
+		t.Fatalf("unexpected initial error: %v", cli.Err())
+	}
+	srv.Close()
+	cli.UptimeReport(dataset.UptimeReport{RouterID: "router-1", ReportedAt: t0})
+	if cli.Err() == nil {
+		t.Fatal("upload against closed server left Err() nil")
+	}
+}

@@ -12,18 +12,39 @@ import (
 
 	"natpeek/internal/clock"
 	"natpeek/internal/rng"
+	"natpeek/internal/telemetry"
 )
 
 // Scheduler runs recurring and one-shot tasks on a simulated clock.
 type Scheduler struct {
 	clk *clock.Sim
 	rnd *rng.Stream
+
+	// Simulator-progress telemetry: every fired task bumps the shared
+	// event counter and stamps the simulated-time gauge, so a debug
+	// listener shows how far and how fast a run has advanced
+	// (rate(natpeek_sim_events_total) is the events/sec of the fleet).
+	mEvents  *telemetry.Counter
+	gSimTime *telemetry.Gauge
 }
 
 // New returns a Scheduler driving tasks on clk. The stream provides jitter;
 // it may be nil when no task uses jitter.
 func New(clk *clock.Sim, rnd *rng.Stream) *Scheduler {
-	return &Scheduler{clk: clk, rnd: rnd}
+	return &Scheduler{
+		clk: clk,
+		rnd: rnd,
+		mEvents: telemetry.Default.Counter("natpeek_sim_events_total",
+			"Scheduler task firings across all simulated schedules."),
+		gSimTime: telemetry.Default.Gauge("natpeek_sim_time_seconds",
+			"Simulated unix time of the most recent task firing."),
+	}
+}
+
+// fired records one task firing for the progress telemetry.
+func (s *Scheduler) fired(now time.Time) {
+	s.mEvents.Inc()
+	s.gSimTime.Set(float64(now.Unix()))
 }
 
 // Clock returns the underlying simulated clock.
@@ -47,6 +68,7 @@ func (s *Scheduler) At(at time.Time, fn func(now time.Time)) *Task {
 	t := &Task{}
 	s.clk.At(at, func(now time.Time) {
 		if !t.cancelled {
+			s.fired(now)
 			fn(now)
 		}
 	})
@@ -58,6 +80,7 @@ func (s *Scheduler) After(d time.Duration, fn func(now time.Time)) *Task {
 	t := &Task{}
 	s.clk.AfterFunc(d, func(now time.Time) {
 		if !t.cancelled {
+			s.fired(now)
 			fn(now)
 		}
 	})
@@ -97,6 +120,7 @@ func (s *Scheduler) scheduleRecur(t *Task, at time.Time, interval, jitter time.D
 		if t.cancelled {
 			return
 		}
+		s.fired(now)
 		fn(now)
 		if !t.cancelled {
 			s.scheduleRecur(t, at.Add(interval), interval, jitter, fn)
@@ -123,6 +147,7 @@ func (s *Scheduler) Window(from, to time.Time, interval time.Duration, fn func(n
 			if t.cancelled {
 				return
 			}
+			s.fired(now)
 			fn(now)
 			if !t.cancelled {
 				recur(at.Add(interval))

@@ -31,6 +31,7 @@ import (
 	"natpeek/internal/nat"
 	"natpeek/internal/packet"
 	"natpeek/internal/shaperprobe"
+	"natpeek/internal/telemetry"
 	"natpeek/internal/wifi"
 )
 
@@ -167,6 +168,28 @@ type Agent struct {
 
 	// exported watermark for incremental flow export
 	exportedFlows int
+
+	// measurement-loop telemetry, resolved once per agent; every counter
+	// is shared across the fleet, so the fleet-wide run/skip balance is
+	// one scrape away.
+	mRuns  *agentKindCounters
+	mSkips *agentKindCounters
+}
+
+// agentKindCounters caches the per-kind counters of one labeled family so
+// the scheduler callbacks do a single atomic add, not a map lookup.
+type agentKindCounters struct {
+	heartbeat, census, scan, report, capacity *telemetry.Counter
+}
+
+func newAgentKindCounters(vec *telemetry.CounterVec) *agentKindCounters {
+	return &agentKindCounters{
+		heartbeat: vec.With("heartbeat"),
+		census:    vec.With("census"),
+		scan:      vec.With("scan"),
+		report:    vec.With("report"),
+		capacity:  vec.With("capacity"),
+	}
 }
 
 // New builds an agent.
@@ -182,6 +205,12 @@ func New(cfg Config, sink Sink, env *Env) *Agent {
 			LANPrefix:     cfg.LANPrefix,
 			UserWhitelist: cfg.UserWhitelist,
 		}, anon),
+		mRuns: newAgentKindCounters(telemetry.Default.CounterVec(
+			"natpeek_gateway_measurements_total",
+			"Measurements executed by gateway agents in this process, per kind.", "kind")),
+		mSkips: newAgentKindCounters(telemetry.Default.CounterVec(
+			"natpeek_gateway_measurements_skipped_total",
+			"Measurements skipped (link outage, scan throttle), per kind.", "kind")),
 	}
 }
 
@@ -240,14 +269,17 @@ func (a *Agent) PowerOff(now time.Time) {
 // datagram would be lost in the access network).
 func (a *Agent) sendHeartbeat(now time.Time) {
 	if a.env.Link != nil && a.env.Link.Outage() {
+		a.mSkips.heartbeat.Inc()
 		return
 	}
+	a.mRuns.heartbeat.Inc()
 	a.sink.Heartbeat(a.cfg.ID, now)
 }
 
 // census counts attached devices per connection kind and reports
 // anonymized per-device sightings.
 func (a *Agent) census(now time.Time) {
+	a.mRuns.census.Inc()
 	count := dataset.DeviceCount{
 		RouterID: a.cfg.ID,
 		At:       now,
@@ -288,9 +320,11 @@ func (a *Agent) scan(now time.Time) {
 		if r.ClientCount() > 0 {
 			a.scanSkips++
 			if a.scanSkips%a.cfg.ScanThrottle != 0 {
+				a.mSkips.scan.Inc()
 				continue
 			}
 		}
+		a.mRuns.scan.Inc()
 		res := r.Scan()
 		scans = append(scans, dataset.WiFiScan{
 			RouterID:   a.cfg.ID,
@@ -309,13 +343,17 @@ func (a *Agent) scan(now time.Time) {
 // report sends the 12-hourly uptime report, runs the capacity probe, and
 // flushes consented traffic data.
 func (a *Agent) report(sched *eventsim.Scheduler, now time.Time) {
+	a.mRuns.report.Inc()
 	a.sink.UptimeReport(dataset.UptimeReport{
 		RouterID:   a.cfg.ID,
 		ReportedAt: now,
 		Uptime:     now.Sub(a.bootAt),
 	})
 	if a.env.Link != nil && !a.env.Link.Outage() {
+		a.mRuns.capacity.Inc()
 		a.probeCapacity(sched, now)
+	} else if a.env.Link != nil {
+		a.mSkips.capacity.Inc()
 	}
 	a.flushTraffic(now)
 }

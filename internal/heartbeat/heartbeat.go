@@ -17,6 +17,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"natpeek/internal/telemetry"
 )
 
 // Interval is the nominal heartbeat period.
@@ -109,6 +111,10 @@ type Receiver struct {
 	pc  net.PacketConn
 	log *Log
 
+	mReceived  *telemetry.Counter
+	mMalformed *telemetry.Counter
+	gLastSeen  *telemetry.GaugeVec
+
 	mu     sync.Mutex
 	closed bool
 	bad    int
@@ -126,7 +132,16 @@ func NewReceiver(addr string, log *Log, recvNow func() time.Time) (*Receiver, er
 	if recvNow == nil {
 		recvNow = time.Now
 	}
-	r := &Receiver{pc: pc, log: log}
+	r := &Receiver{
+		pc:  pc,
+		log: log,
+		mReceived: telemetry.Default.Counter("natpeek_heartbeats_received_total",
+			"Heartbeat datagrams successfully decoded and recorded."),
+		mMalformed: telemetry.Default.Counter("natpeek_heartbeats_malformed_total",
+			"Datagrams on the heartbeat port that failed to decode."),
+		gLastSeen: telemetry.Default.GaugeVec("natpeek_heartbeat_last_seen_seconds",
+			"Receive-side unix timestamp of the last heartbeat, per router.", "router"),
+	}
 	go r.loop(recvNow)
 	return r, nil
 }
@@ -159,9 +174,13 @@ func (r *Receiver) loop(recvNow func() time.Time) {
 			r.mu.Lock()
 			r.bad++
 			r.mu.Unlock()
+			r.mMalformed.Inc()
 			continue
 		}
-		r.log.Record(beat.RouterID, recvNow())
+		at := recvNow()
+		r.log.Record(beat.RouterID, at)
+		r.mReceived.Inc()
+		r.gLastSeen.With(beat.RouterID).Set(float64(at.Unix()))
 	}
 }
 

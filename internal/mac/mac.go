@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Addr is a 48-bit MAC address.
@@ -102,25 +103,50 @@ func FromOUI(oui uint32, nic uint32) Addr {
 // physical identity is not recoverable without the key.
 type Anonymizer struct {
 	key []byte
+
+	// A home sees a handful of distinct devices but the capture path
+	// anonymizes the device MAC of every frame, so the HMAC result is
+	// memoized. The cache is unbounded by design: its cardinality is the
+	// number of distinct devices behind one gateway (tens, not millions).
+	mu    sync.RWMutex
+	cache map[Addr]Addr
 }
 
 // NewAnonymizer returns an Anonymizer keyed by key. Distinct keys produce
 // unlinkable pseudonym spaces (e.g. one key per study period).
 func NewAnonymizer(key []byte) *Anonymizer {
-	return &Anonymizer{key: append([]byte(nil), key...)}
+	return &Anonymizer{key: append([]byte(nil), key...), cache: make(map[Addr]Addr)}
 }
 
 // Anonymize returns the address with its lower 24 bits replaced by an
 // HMAC-SHA256-derived pseudonym. The OUI — and therefore manufacturer
-// lookup — is preserved. Anonymize is deterministic for a fixed key.
+// lookup — is preserved. Anonymize is deterministic for a fixed key and
+// safe for concurrent use.
 func (z *Anonymizer) Anonymize(a Addr) Addr {
+	z.mu.RLock()
+	out, ok := z.cache[a]
+	z.mu.RUnlock()
+	if ok {
+		return out
+	}
 	mac := hmac.New(sha256.New, z.key)
 	mac.Write(a[:])
 	sum := mac.Sum(nil)
 	nic := binary.BigEndian.Uint32(sum[:4]) & 0x00ffffff
-	out := FromOUI(a.OUI(), nic)
+	out = FromOUI(a.OUI(), nic)
 	// Preserve the unicast/global bits of the original OUI; hashing only
 	// touched the NIC so nothing to fix — but keep the invariant explicit.
 	out[0] = a[0]
+	z.mu.Lock()
+	z.cache[a] = out
+	z.mu.Unlock()
 	return out
+}
+
+// CacheSize returns the number of memoized pseudonyms — the telemetry
+// layer exports it as the anonymization cache gauge.
+func (z *Anonymizer) CacheSize() int {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return len(z.cache)
 }

@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// RegisterDebug mounts the observability endpoints on mux: the registry
+// at /metrics and the standard pprof handlers under /debug/pprof/. Use it
+// to add the endpoints to an existing server (the collector does); use
+// StartDebug for a standalone listener (gateway, simulator).
+func RegisterDebug(mux *http.ServeMux, reg *Registry) {
+	if reg == nil {
+		reg = Default
+	}
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// DebugServer is a standalone observability listener for binaries whose
+// primary job is not HTTP (bismark-gateway, bismark-sim).
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebug serves /metrics and pprof on addr ("127.0.0.1:0" for an
+// ephemeral port). nil reg means Default.
+func StartDebug(addr string, reg *Registry) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	RegisterDebug(mux, reg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: debug listen %s: %w", addr, err)
+	}
+	d := &DebugServer{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second},
+	}
+	go d.srv.Serve(ln)
+	return d, nil
+}
+
+// Addr returns the bound address.
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the listener.
+func (d *DebugServer) Close() error { return d.srv.Close() }

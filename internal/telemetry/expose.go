@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteProm renders every registered metric in Prometheus text exposition
+// format (version 0.0.4): # HELP and # TYPE headers followed by one line
+// per series, sorted by metric name then label key for a stable scrape.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.RLock()
+	names := append([]string(nil), r.order...)
+	metrics := make([]*metric, 0, len(names))
+	for _, n := range names {
+		metrics = append(metrics, r.byName[n])
+	}
+	r.mu.RUnlock()
+	sort.Slice(metrics, func(i, j int) bool { return metrics[i].name < metrics[j].name })
+
+	for _, m := range metrics {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, escapeHelp(m.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind); err != nil {
+			return err
+		}
+		if err := m.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *metric) write(w io.Writer) error {
+	switch {
+	case m.counter != nil:
+		_, err := fmt.Fprintf(w, "%s %s\n", m.name, formatValue(float64(m.counter.Value())))
+		return err
+	case m.gauge != nil:
+		_, err := fmt.Fprintf(w, "%s %s\n", m.name, formatValue(m.gauge.Value()))
+		return err
+	case m.hist != nil:
+		return writeHistogram(w, m.name, "", m.hist.Snapshot())
+	case m.counterVec != nil:
+		v := m.counterVec
+		v.mu.RLock()
+		keys := sortedKeys(v.m)
+		type row struct {
+			labels string
+			val    float64
+		}
+		rows := make([]row, 0, len(keys))
+		for _, k := range keys {
+			rows = append(rows, row{formatLabels(v.labels, k), float64(v.m[k].Value())})
+		}
+		v.mu.RUnlock()
+		for _, r := range rows {
+			if _, err := fmt.Fprintf(w, "%s{%s} %s\n", m.name, r.labels, formatValue(r.val)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case m.gaugeVec != nil:
+		v := m.gaugeVec
+		v.mu.RLock()
+		keys := sortedKeys(v.m)
+		type row struct {
+			labels string
+			val    float64
+		}
+		rows := make([]row, 0, len(keys))
+		for _, k := range keys {
+			rows = append(rows, row{formatLabels(v.labels, k), v.m[k].Value()})
+		}
+		v.mu.RUnlock()
+		for _, r := range rows {
+			if _, err := fmt.Fprintf(w, "%s{%s} %s\n", m.name, r.labels, formatValue(r.val)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case m.histVec != nil:
+		v := m.histVec
+		v.mu.RLock()
+		keys := sortedKeys(v.m)
+		type row struct {
+			labels string
+			snap   HistogramSnapshot
+		}
+		rows := make([]row, 0, len(keys))
+		for _, k := range keys {
+			rows = append(rows, row{formatLabels(v.labels, k), v.m[k].Snapshot()})
+		}
+		v.mu.RUnlock()
+		for _, r := range rows {
+			if err := writeHistogram(w, m.name, r.labels, r.snap); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name, labels string, s HistogramSnapshot) error {
+	for _, b := range s.Buckets {
+		le := "+Inf"
+		if !math.IsInf(b.UpperBound, 1) {
+			le = formatValue(b.UpperBound)
+		}
+		sep := ""
+		if labels != "" {
+			sep = ","
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, le, b.Count); err != nil {
+			return err
+		}
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, formatValue(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, s.Count)
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// formatLabels renders a vec map key back into label="value" pairs.
+func formatLabels(labels []string, key string) string {
+	values := strings.Split(key, labelSep)
+	parts := make([]string, 0, len(labels))
+	for i, l := range labels {
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		parts = append(parts, l+`="`+escapeLabel(v)+`"`)
+	}
+	return strings.Join(parts, ",")
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+}

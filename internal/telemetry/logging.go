@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// Logging environment knobs shared by every binary:
+//
+//	NATPEEK_LOG_LEVEL  = debug | info | warn | error   (default info)
+//	NATPEEK_LOG_FORMAT = text | json                    (default text)
+//
+// Keeping the configuration in the environment rather than per-binary
+// flags means the same invocation works for bismark-server, -gateway,
+// -sim, -pcap, and -analyze.
+
+// LogLevel parses NATPEEK_LOG_LEVEL.
+func LogLevel() slog.Level {
+	switch strings.ToLower(os.Getenv("NATPEEK_LOG_LEVEL")) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// NewLogger builds the platform's structured logger for one component
+// (e.g. "bismark-server"), writing to w (nil means stderr). Format and
+// level come from the environment.
+func NewLogger(component string, w io.Writer) *slog.Logger {
+	if w == nil {
+		w = os.Stderr
+	}
+	opts := &slog.HandlerOptions{Level: LogLevel()}
+	var h slog.Handler
+	if strings.EqualFold(os.Getenv("NATPEEK_LOG_FORMAT"), "json") {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h).With("component", component)
+}
+
+// SetupLogger builds the component logger and installs it as the slog
+// default, so library code using slog.Default() shares the binary's
+// sink. It returns the logger for direct use.
+func SetupLogger(component string) *slog.Logger {
+	l := NewLogger(component, nil)
+	slog.SetDefault(l)
+	return l
+}

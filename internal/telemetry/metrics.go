@@ -1,0 +1,413 @@
+// Package telemetry is the platform's observability layer: a
+// dependency-free metrics registry (atomic counters, gauges, bounded
+// histograms, labeled families) with Prometheus text exposition, plus the
+// slog-based structured-logging setup shared by every binary and an
+// optional debug HTTP listener (/metrics + pprof).
+//
+// The paper's deployment lived or died on knowing whether its 126
+// routers were actually reporting; this package is the reproduction's
+// equivalent of that operational visibility. Every subsystem registers
+// its metrics against Default at construction time, so one scrape of a
+// running collector answers "are the routers alive, is anything being
+// dropped, and where is the time going".
+//
+// Metric handles are resolved once (at component construction) and
+// increments are single atomic operations, so instrumentation is cheap
+// enough for the capture hot path (see BenchmarkTelemetryCounter).
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use, but counters should normally be obtained from a Registry so
+// they appear in the exposition.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; negative deltas are ignored to keep
+// the counter monotonic).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(uint64(n))
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. Stored as float64 bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram with an approximate quantile
+// snapshot. Observations are lock-free atomic adds.
+type Histogram struct {
+	bounds []float64 // increasing upper bounds; +Inf bucket is implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// DefBuckets is the default latency bucket layout (seconds).
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Bucket is one histogram bucket in a snapshot.
+type Bucket struct {
+	UpperBound float64 // +Inf for the overflow bucket
+	Count      uint64  // cumulative count of observations ≤ UpperBound
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Buckets []Bucket
+	Count   uint64
+	Sum     float64
+}
+
+// Snapshot copies the histogram's state. Because observation is
+// non-atomic across buckets, a snapshot taken concurrently with writes is
+// approximate, which is fine for monitoring.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Buckets: make([]Bucket, len(h.counts)),
+		Count:   h.count.Load(),
+		Sum:     h.Sum(),
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		s.Buckets[i] = Bucket{UpperBound: ub, Count: cum}
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the containing bucket. Returns NaN on an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var lo float64
+	var prev uint64
+	for _, b := range s.Buckets {
+		if float64(b.Count) >= rank {
+			if math.IsInf(b.UpperBound, 1) {
+				return lo // best effort: lower edge of the overflow bucket
+			}
+			in := b.Count - prev
+			if in == 0 {
+				return b.UpperBound
+			}
+			frac := (rank - float64(prev)) / float64(in)
+			return lo + frac*(b.UpperBound-lo)
+		}
+		lo = b.UpperBound
+		prev = b.Count
+	}
+	return lo
+}
+
+// labelSep joins label values into map keys; 0xff never appears in sane
+// label values.
+const labelSep = "\xff"
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct {
+	labels []string
+	mu     sync.RWMutex
+	m      map[string]*Counter
+}
+
+// With returns (creating if needed) the counter for the given label
+// values, which must match the family's label count.
+func (v *CounterVec) With(values ...string) *Counter {
+	key := vecKey(v.labels, values)
+	v.mu.RLock()
+	c := v.m[key]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.m[key]; c == nil {
+		c = &Counter{}
+		v.m[key] = c
+	}
+	return c
+}
+
+// GaugeVec is a family of gauges distinguished by label values.
+type GaugeVec struct {
+	labels []string
+	mu     sync.RWMutex
+	m      map[string]*Gauge
+}
+
+// With returns (creating if needed) the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	key := vecKey(v.labels, values)
+	v.mu.RLock()
+	g := v.m[key]
+	v.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g = v.m[key]; g == nil {
+		g = &Gauge{}
+		v.m[key] = g
+	}
+	return g
+}
+
+// HistogramVec is a family of histograms sharing one bucket layout.
+type HistogramVec struct {
+	labels []string
+	bounds []float64
+	mu     sync.RWMutex
+	m      map[string]*Histogram
+}
+
+// With returns (creating if needed) the histogram for the given label
+// values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	key := vecKey(v.labels, values)
+	v.mu.RLock()
+	h := v.m[key]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.m[key]; h == nil {
+		h = newHistogram(v.bounds)
+		v.m[key] = h
+	}
+	return h
+}
+
+func vecKey(labels, values []string) string {
+	if len(values) != len(labels) {
+		panic(fmt.Sprintf("telemetry: %d label values for %d labels", len(values), len(labels)))
+	}
+	return strings.Join(values, labelSep)
+}
+
+// metric is one registered name: exactly one of the concrete fields is
+// set.
+type metric struct {
+	name, help string
+	kind       string // "counter", "gauge", "histogram"
+	counter    *Counter
+	gauge      *Gauge
+	hist       *Histogram
+	counterVec *CounterVec
+	gaugeVec   *GaugeVec
+	histVec    *HistogramVec
+}
+
+// Registry holds named metrics and renders them in Prometheus text
+// format. Registration is idempotent: asking for an existing name of the
+// same kind returns the existing metric, so independent components can
+// share a metric by name. Asking for an existing name with a different
+// kind or label set panics — that is a programming error.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]*metric
+	order  []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// Default is the process-wide registry. Components register against it
+// unless told otherwise; binaries expose it on /metrics.
+var Default = NewRegistry()
+
+func (r *Registry) lookup(name, kind string) *metric {
+	m := r.byName[name]
+	if m != nil && m.kind != kind {
+		panic(fmt.Sprintf("telemetry: %s already registered as %s, requested %s", name, m.kind, kind))
+	}
+	return m
+}
+
+func (r *Registry) register(name, help, kind string) *metric {
+	m := &metric{name: name, help: help, kind: kind}
+	r.byName[name] = m
+	r.order = append(r.order, name)
+	return m
+}
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, "counter"); m != nil {
+		if m.counter == nil {
+			panic("telemetry: " + name + " is a labeled counter")
+		}
+		return m.counter
+	}
+	m := r.register(name, help, "counter")
+	m.counter = &Counter{}
+	return m.counter
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, "gauge"); m != nil {
+		if m.gauge == nil {
+			panic("telemetry: " + name + " is a labeled gauge")
+		}
+		return m.gauge
+	}
+	m := r.register(name, help, "gauge")
+	m.gauge = &Gauge{}
+	return m.gauge
+}
+
+// Histogram returns the named histogram, registering it on first use with
+// the given bucket upper bounds (nil means DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, "histogram"); m != nil {
+		if m.hist == nil {
+			panic("telemetry: " + name + " is a labeled histogram")
+		}
+		return m.hist
+	}
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	m := r.register(name, help, "histogram")
+	m.hist = newHistogram(bounds)
+	return m.hist
+}
+
+// CounterVec returns the named counter family, registering it on first
+// use.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, "counter"); m != nil {
+		if m.counterVec == nil || len(m.counterVec.labels) != len(labels) {
+			panic("telemetry: " + name + " registered with a different shape")
+		}
+		return m.counterVec
+	}
+	m := r.register(name, help, "counter")
+	m.counterVec = &CounterVec{labels: labels, m: make(map[string]*Counter)}
+	return m.counterVec
+}
+
+// GaugeVec returns the named gauge family, registering it on first use.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, "gauge"); m != nil {
+		if m.gaugeVec == nil || len(m.gaugeVec.labels) != len(labels) {
+			panic("telemetry: " + name + " registered with a different shape")
+		}
+		return m.gaugeVec
+	}
+	m := r.register(name, help, "gauge")
+	m.gaugeVec = &GaugeVec{labels: labels, m: make(map[string]*Gauge)}
+	return m.gaugeVec
+}
+
+// HistogramVec returns the named histogram family, registering it on
+// first use with the given bucket bounds (nil means DefBuckets).
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, "histogram"); m != nil {
+		if m.histVec == nil || len(m.histVec.labels) != len(labels) {
+			panic("telemetry: " + name + " registered with a different shape")
+		}
+		return m.histVec
+	}
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	m := r.register(name, help, "histogram")
+	m.histVec = &HistogramVec{labels: labels, bounds: bounds, m: make(map[string]*Histogram)}
+	return m.histVec
+}

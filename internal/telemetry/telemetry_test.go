@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5, 10})
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 10) // 0.1 .. 10.0 uniform
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if got := s.Quantile(0.5); math.Abs(got-5) > 1.5 {
+		t.Fatalf("p50 = %v, want ≈5", got)
+	}
+	if got := s.Quantile(0); got < 0 || got > 1 {
+		t.Fatalf("p0 = %v, want within first bucket", got)
+	}
+	if got := s.Quantile(1); got != 10 {
+		t.Fatalf("p100 = %v, want 10", got)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := newHistogram([]float64{1})
+	if got := h.Snapshot().Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty quantile = %v, want NaN", got)
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "")
+	b := r.Counter("x_total", "")
+	if a != b {
+		t.Fatal("same name returned different counters")
+	}
+	v1 := r.CounterVec("y_total", "", "endpoint")
+	v2 := r.CounterVec("y_total", "", "endpoint")
+	if v1 != v2 {
+		t.Fatal("same name returned different vecs")
+	}
+	if v1.With("a") != v2.With("a") {
+		t.Fatal("same labels returned different counters")
+	}
+}
+
+func TestRegistryKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind clash")
+		}
+	}()
+	r.Gauge("clash", "")
+}
+
+// parseProm does a minimal parse of the exposition format, returning
+// series name{labels} → value. It fails the test on any malformed line.
+func parseProm(t *testing.T, rd io.Reader) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(rd)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		series := line[:i]
+		if strings.Count(series, "{") > 1 || strings.ContainsAny(series, " \t") {
+			t.Fatalf("malformed series %q", series)
+		}
+		out[series] = v
+	}
+	return out
+}
+
+func TestWritePromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("beats_total", "heartbeats received").Add(7)
+	r.Gauge("depth", "queue depth").Set(3.5)
+	r.CounterVec("req_total", "requests", "endpoint").With(`/v1/"x"`).Add(2)
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	got := parseProm(t, strings.NewReader(text))
+
+	if got["beats_total"] != 7 {
+		t.Fatalf("beats_total = %v\n%s", got["beats_total"], text)
+	}
+	if got["depth"] != 3.5 {
+		t.Fatalf("depth = %v", got["depth"])
+	}
+	if got[`req_total{endpoint="/v1/\"x\""}`] != 2 {
+		t.Fatalf("labeled counter missing/escaped wrong:\n%s", text)
+	}
+	if got[`lat_seconds_bucket{le="+Inf"}`] != 3 || got["lat_seconds_count"] != 3 {
+		t.Fatalf("histogram exposition wrong:\n%s", text)
+	}
+	if got[`lat_seconds_bucket{le="0.1"}`] != 1 {
+		t.Fatalf("cumulative bucket wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "# TYPE lat_seconds histogram") {
+		t.Fatalf("missing TYPE header:\n%s", text)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "")
+	vec := r.CounterVec("conc_vec_total", "", "k")
+	h := r.Histogram("conc_seconds", "", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				vec.With("a").Inc()
+				h.Observe(float64(j) / 1000)
+				if j%100 == 0 {
+					var sb strings.Builder
+					_ = r.WriteProm(&sb)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if vec.With("a").Value() != 8000 {
+		t.Fatalf("vec counter = %d, want 8000", vec.With("a").Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestDebugServerServesMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("debug_test_total", "").Inc()
+	d, err := StartDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	resp, err := http.Get("http://" + d.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got := parseProm(t, resp.Body)
+	if got["debug_test_total"] != 1 {
+		t.Fatalf("metrics = %v", got)
+	}
+
+	resp2, err := http.Get("http://" + d.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp2.StatusCode)
+	}
+}
+
+func TestRegisterDebugOnExistingMux(t *testing.T) {
+	mux := http.NewServeMux()
+	reg := NewRegistry()
+	reg.Gauge("mux_gauge", "").Set(1)
+	RegisterDebug(mux, reg)
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), "mux_gauge 1") {
+		t.Fatalf("status %d body %q", rr.Code, rr.Body.String())
+	}
+}

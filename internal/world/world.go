@@ -33,6 +33,7 @@ import (
 	"natpeek/internal/mac"
 	"natpeek/internal/rng"
 	"natpeek/internal/shaperprobe"
+	"natpeek/internal/telemetry"
 	"natpeek/internal/trafficgen"
 	"natpeek/internal/wifi"
 )
@@ -146,12 +147,21 @@ func Build(cfg Config) *World {
 	return w
 }
 
-// Run fills the store with every data set. It is deterministic.
+// Run fills the store with every data set. It is deterministic. Progress
+// is visible on a telemetry debug listener while a large run executes:
+// natpeek_sim_homes_done_total counts finished homes against the
+// natpeek_sim_homes gauge, and the eventsim counters track task firings
+// and simulated time inside the current home.
 func (w *World) Run() error {
+	done := telemetry.Default.Counter("natpeek_sim_homes_done_total",
+		"Homes whose full collection windows have been simulated.")
+	telemetry.Default.Gauge("natpeek_sim_homes",
+		"Homes in the deployment being simulated.").Set(float64(len(w.Homes)))
 	for _, h := range w.Homes {
 		if err := w.runHome(h); err != nil {
 			return fmt.Errorf("world: %s: %w", h.Profile.ID, err)
 		}
+		done.Inc()
 	}
 	return nil
 }
