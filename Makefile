@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-telemetry
+.PHONY: check vet build test race bench bench-telemetry check-reliability
 
 check: vet build race
 
@@ -28,3 +28,13 @@ bench:
 # capture hot path must stay cheap (< 25 ns/op for counter increments).
 bench-telemetry:
 	$(GO) test -run='^$$' -bench='BenchmarkTelemetry' -benchmem
+
+# The upload-pipeline reliability gate, under the race detector: the
+# spool suite (retry/overflow/journal/concurrency), the collector
+# fault-injection suite (zero row loss through 30% failed POSTs plus a
+# server restart, idempotency dedupe, journal recovery across a client
+# restart), and the gateway export/throttle regressions.
+check-reliability:
+	$(GO) test -race ./internal/spool/
+	$(GO) test -race -run 'TestZeroRowLoss|TestSpoolJournal|TestBatch|TestIdempotency|TestOversized|TestChunked|TestErrorResponses|TestClientErrSurfacesFailures' ./internal/collector/
+	$(GO) test -race -run 'TestFlowExport|TestPowerOffExports|TestScanThrottle' ./internal/gateway/

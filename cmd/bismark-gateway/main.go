@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"net/netip"
 	"os"
@@ -30,6 +31,7 @@ import (
 	"natpeek/internal/linksim"
 	"natpeek/internal/mac"
 	"natpeek/internal/rng"
+	"natpeek/internal/spool"
 	"natpeek/internal/telemetry"
 	"natpeek/internal/wifi"
 )
@@ -43,6 +45,7 @@ func main() {
 	duration := flag.Duration("duration", 30*time.Second, "wall-clock run time")
 	seed := flag.Uint64("seed", 42, "household seed")
 	debugAddr := flag.String("debug-addr", "", "optional listen address for /metrics and pprof (e.g. 127.0.0.1:9090)")
+	spoolDir := flag.String("spool-dir", "", "optional directory for the upload spool journal (uploads survive a gateway restart, like the firmware's flash buffers)")
 	flag.Parse()
 
 	log := telemetry.SetupLogger("bismark-gateway")
@@ -63,7 +66,8 @@ func main() {
 		log.Error("unknown country", "country", *country)
 		os.Exit(1)
 	}
-	cli, err := collector.NewClient(*id, *country, *udp, *httpAddr)
+	cli, err := collector.NewClient(*id, *country, *udp, *httpAddr,
+		collector.WithSpool(spool.Config{Dir: *spoolDir}))
 	if err != nil {
 		log.Error("connect failed", "err", err)
 		os.Exit(1)
@@ -132,8 +136,15 @@ func main() {
 		clk.Advance(time.Duration(float64(tick) * *speedup))
 	}
 	agent.PowerOff(clk.Now())
+	// Drain the upload spool before exiting; anything still queued after
+	// the deadline survives in the journal (if -spool-dir is set).
+	flushCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	if err := cli.Flush(flushCtx); err != nil {
+		log.Warn("spool not fully drained", "queued", cli.SpoolDepth(), "err", err)
+	}
+	cancel()
 	if err := cli.Err(); err != nil {
-		log.Warn("some uploads failed", "last_err", err)
+		log.Warn("some uploads failed (retried by the spool)", "last_err", err)
 	}
 	simSpan := clk.Now().Sub(start)
 	log.Info("done", "simulated", simSpan.Round(time.Minute).String(),

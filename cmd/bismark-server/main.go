@@ -29,6 +29,8 @@ func main() {
 	httpAddr := flag.String("http", "127.0.0.1:8080", "HTTP address for measurement uploads, /metrics, /healthz, and pprof")
 	out := flag.String("out", "live-data", "directory to persist data sets on shutdown")
 	statsEvery := flag.Duration("stats-every", 30*time.Second, "how often to log collection progress")
+	failRate := flag.Float64("fail-rate", 0, "fault injection: fraction of uploads to fail (half rejected, half applied with the ack dropped) to exercise gateway retries and server dedupe")
+	failSeed := flag.Uint64("fail-seed", 1, "fault injection RNG seed")
 	flag.Parse()
 
 	log := telemetry.SetupLogger("bismark-server")
@@ -38,6 +40,10 @@ func main() {
 	if err != nil {
 		log.Error("start failed", "err", err)
 		os.Exit(1)
+	}
+	if *failRate > 0 {
+		srv.SetFaultInjection(*failRate, *failSeed)
+		log.Warn("fault injection enabled", "rate", *failRate, "seed", *failSeed)
 	}
 	log.Info("listening",
 		"heartbeats", "udp://"+srv.UDPAddr(),

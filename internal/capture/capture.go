@@ -326,6 +326,41 @@ func (m *Monitor) ExpireFlows(now time.Time) int {
 	return n
 }
 
+// FinishAll moves every live flow to the finished list, regardless of
+// idle time, and returns how many moved. The gateway calls this on
+// power-off so the final export carries complete totals.
+func (m *Monitor) FinishAll() int {
+	n := 0
+	for k, f := range m.flows {
+		delete(m.flows, k)
+		m.done = append(m.done, f)
+		n++
+	}
+	if n > 0 {
+		m.mFinished.Add(int64(n))
+		m.gFlows.Add(float64(-n))
+	}
+	return n
+}
+
+// TakeFinishedFlows drains the finished list (idle-expired, evicted, or
+// FinishAll'd flows), sorted by first-seen time then key. Each finished
+// flow is returned exactly once, with its final byte/packet totals —
+// this is the export watermark for incremental flow upload: live flows
+// are never exported, so no flow is ever exported twice or with partial
+// counts.
+func (m *Monitor) TakeFinishedFlows() []*Flow {
+	out := m.done
+	m.done = nil
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].First.Equal(out[j].First) {
+			return out[i].First.Before(out[j].First)
+		}
+		return flowKeyLess(out[i].Key, out[j].Key)
+	})
+	return out
+}
+
 // ActiveFlows returns the number of live flows.
 func (m *Monitor) ActiveFlows() int { return len(m.flows) }
 

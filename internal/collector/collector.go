@@ -5,11 +5,22 @@
 // simulator can report to a real server (cmd/bismark-gateway →
 // cmd/bismark-server).
 //
+// The upload path is reliable end to end. The client never posts
+// measurements inline: every payload is enqueued into an internal/spool
+// queue with an idempotency key and delivered by a background drainer
+// that batches queued payloads into single POSTs (/v1/batch) and retries
+// under exponential backoff. The server applies each idempotency key at
+// most once (the dedupe index lives in the dataset.Store, so it survives
+// a server restart that keeps the store), which makes redelivery safe:
+// at-least-once transport plus server dedupe is exactly-once ingestion.
+//
 // The server is instrumented end to end: every /v1/* endpoint counts
 // requests, decode errors, payload bytes, and latency; the telemetry
 // registry is exposed at /metrics (Prometheus text format) alongside
 // /healthz and the pprof handlers. See DESIGN.md §"Operating the
-// platform" for the metric names.
+// platform" for the metric names. SetFaultInjection (bismark-server
+// -fail-rate) makes the server randomly reject or drop-ack uploads so
+// the retry/dedupe path can be demonstrated against a live deployment.
 package collector
 
 import (
@@ -17,14 +28,18 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
 	"natpeek/internal/dataset"
 	"natpeek/internal/heartbeat"
+	"natpeek/internal/rng"
+	"natpeek/internal/spool"
 	"natpeek/internal/telemetry"
 )
 
@@ -32,10 +47,32 @@ import (
 // force-closing connections.
 const closeTimeout = 3 * time.Second
 
+// maxUploadBytes bounds every upload request body. A single oversized
+// POST must not be able to exhaust the collector's memory; the gateway's
+// batches sit far below this.
+const maxUploadBytes = 8 << 20
+
+// applyFunc decodes one endpoint's payload outside the store lock and
+// returns the mutation to run under it.
+type applyFunc func(body json.RawMessage) (func(*dataset.Store), error)
+
+// decodeApply builds an applyFunc from a typed store mutation.
+func decodeApply[T any](apply func(*dataset.Store, T)) applyFunc {
+	return func(body json.RawMessage) (func(*dataset.Store), error) {
+		var v T
+		if err := json.Unmarshal(body, &v); err != nil {
+			return nil, err
+		}
+		return func(st *dataset.Store) { apply(st, v) }, nil
+	}
+}
+
 // Server is the collection server.
 type Server struct {
 	mu    sync.Mutex
 	store *dataset.Store
+
+	appliers map[string]applyFunc
 
 	hbRx *heartbeat.Receiver
 	http *http.Server
@@ -47,7 +84,12 @@ type Server struct {
 	mReqs       *telemetry.CounterVec
 	mDecodeErrs *telemetry.CounterVec
 	mPayload    *telemetry.CounterVec
+	mItems      *telemetry.CounterVec
+	mDedupe     *telemetry.CounterVec
+	mInjected   *telemetry.CounterVec
 	hLatency    *telemetry.HistogramVec
+
+	faults *faultInjector
 
 	closeOnce sync.Once
 	closeErr  error
@@ -72,9 +114,37 @@ func NewServer(udpAddr, httpAddr string, store *dataset.Store) (*Server, error) 
 		mDecodeErrs: reg.CounterVec("natpeek_http_decode_errors_total",
 			"Upload API requests rejected with a body decode error, per endpoint.", "endpoint"),
 		mPayload: reg.CounterVec("natpeek_http_payload_bytes_total",
-			"Upload API request payload bytes received, per endpoint.", "endpoint"),
+			"Upload API request payload bytes actually read, per endpoint.", "endpoint"),
+		mItems: reg.CounterVec("natpeek_collector_batch_items_total",
+			"Spooled payloads ingested through /v1/batch, per logical endpoint.", "endpoint"),
+		mDedupe: reg.CounterVec("natpeek_collector_dedupe_total",
+			"Uploads skipped because their idempotency key was already applied, per endpoint.", "endpoint"),
+		mInjected: reg.CounterVec("natpeek_collector_injected_failures_total",
+			"Failures injected by SetFaultInjection, per mode (reject=before apply, drop-ack=after).", "mode"),
 		hLatency: reg.HistogramVec("natpeek_http_request_seconds",
 			"Upload API request handling latency.", nil, "endpoint"),
+	}
+	s.appliers = map[string]applyFunc{
+		"/v1/register": decodeApplyRegister(),
+		"/v1/uptime": decodeApply(func(st *dataset.Store, r dataset.UptimeReport) {
+			st.Uptime = append(st.Uptime, r)
+		}),
+		"/v1/capacity": decodeApply(func(st *dataset.Store, c dataset.CapacityMeasure) {
+			st.Capacity = append(st.Capacity, c)
+		}),
+		"/v1/devices": decodeApply(func(st *dataset.Store, up censusUpload) {
+			st.Counts = append(st.Counts, up.Count)
+			st.Sightings = append(st.Sightings, up.Sightings...)
+		}),
+		"/v1/wifi": decodeApply(func(st *dataset.Store, scans []dataset.WiFiScan) {
+			st.WiFi = append(st.WiFi, scans...)
+		}),
+		"/v1/traffic/flows": decodeApply(func(st *dataset.Store, fl []dataset.FlowRecord) {
+			st.Flows = append(st.Flows, fl...)
+		}),
+		"/v1/traffic/throughput": decodeApply(func(st *dataset.Store, ts []dataset.ThroughputSample) {
+			st.Throughput = append(st.Throughput, ts...)
+		}),
 	}
 	rx, err := heartbeat.NewReceiver(udpAddr, store.Heartbeats, nil)
 	if err != nil {
@@ -83,27 +153,15 @@ func NewServer(udpAddr, httpAddr string, store *dataset.Store) (*Server, error) 
 	s.hbRx = rx
 
 	mux := http.NewServeMux()
-	handle := func(endpoint string, h http.HandlerFunc) {
-		mux.HandleFunc("POST "+endpoint, s.instrument(endpoint, h))
+	for path := range s.appliers {
+		// Registration is exempt from fault injection: it is the one
+		// synchronous control-plane call, and failing it would keep
+		// demo gateways from ever coming up.
+		injectable := path != "/v1/register"
+		mux.HandleFunc("POST "+path, s.instrument(path, injectable, s.jsonEndpoint(path)))
 	}
-	handle("/v1/register", s.handleRegister)
-	handle("/v1/uptime", jsonHandler(s, "/v1/uptime", func(st *dataset.Store, r dataset.UptimeReport) {
-		st.Uptime = append(st.Uptime, r)
-	}))
-	handle("/v1/capacity", jsonHandler(s, "/v1/capacity", func(st *dataset.Store, c dataset.CapacityMeasure) {
-		st.Capacity = append(st.Capacity, c)
-	}))
-	handle("/v1/devices", s.handleDevices)
-	handle("/v1/wifi", jsonHandler(s, "/v1/wifi", func(st *dataset.Store, scans []dataset.WiFiScan) {
-		st.WiFi = append(st.WiFi, scans...)
-	}))
-	handle("/v1/traffic/flows", jsonHandler(s, "/v1/traffic/flows", func(st *dataset.Store, fl []dataset.FlowRecord) {
-		st.Flows = append(st.Flows, fl...)
-	}))
-	handle("/v1/traffic/throughput", jsonHandler(s, "/v1/traffic/throughput", func(st *dataset.Store, ts []dataset.ThroughputSample) {
-		st.Throughput = append(st.Throughput, ts...)
-	}))
-	mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
+	mux.HandleFunc("POST /v1/batch", s.instrument("/v1/batch", true, s.handleBatch))
+	mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", false, s.handleStats))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	telemetry.RegisterDebug(mux, reg)
 
@@ -119,6 +177,21 @@ func NewServer(udpAddr, httpAddr string, store *dataset.Store) (*Server, error) 
 	return s, nil
 }
 
+// decodeApplyRegister validates registration on top of the generic
+// decode (a router must have an ID).
+func decodeApplyRegister() applyFunc {
+	inner := decodeApply(func(st *dataset.Store, req registerReq) {
+		st.RouterCountry[req.RouterID] = req.Country
+	})
+	return func(body json.RawMessage) (func(*dataset.Store), error) {
+		var req registerReq
+		if err := json.Unmarshal(body, &req); err != nil || req.RouterID == "" {
+			return nil, fmt.Errorf("bad register")
+		}
+		return inner(body)
+	}
+}
+
 // UDPAddr returns the heartbeat address.
 func (s *Server) UDPAddr() string { return s.hbRx.Addr().String() }
 
@@ -128,6 +201,214 @@ func (s *Server) HTTPAddr() string { return s.ln.Addr().String() }
 // Store returns the server's dataset store. Callers must not mutate it
 // while the server is running; use Snapshot-style access after Close.
 func (s *Server) Store() *dataset.Store { return s.store }
+
+// SetFaultInjection makes the server fail the given fraction of upload
+// requests, deterministically driven by seed. Half of the injected
+// failures reject the request before it is applied (503, nothing
+// stored); the other half apply the payload and then drop the
+// acknowledgment (503 after apply) — the lost-ack case that makes
+// idempotency keys necessary. Pass rate 0 to disable.
+func (s *Server) SetFaultInjection(rate float64, seed uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rate <= 0 {
+		s.faults = nil
+		return
+	}
+	s.faults = &faultInjector{rate: rate, rng: rng.New(seed)}
+}
+
+type faultInjector struct {
+	mu   sync.Mutex
+	rate float64
+	rng  *rng.Stream
+}
+
+type faultMode int
+
+const (
+	faultNone    faultMode = iota
+	faultReject            // fail before the handler runs
+	faultDropAck           // run the handler, then fail the response
+)
+
+func (f *faultInjector) roll() faultMode {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.rng.Bool(f.rate) {
+		return faultNone
+	}
+	if f.rng.Bool(0.5) {
+		return faultReject
+	}
+	return faultDropAck
+}
+
+func (s *Server) injector() *faultInjector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faults
+}
+
+// discardResponse swallows a handler's response so a drop-ack fault can
+// replace it with a 503 after the handler has already mutated the store.
+type discardResponse struct{ h http.Header }
+
+func (d *discardResponse) Header() http.Header {
+	if d.h == nil {
+		d.h = make(http.Header)
+	}
+	return d.h
+}
+func (d *discardResponse) Write(p []byte) (int, error) { return len(p), nil }
+func (d *discardResponse) WriteHeader(int)             {}
+
+// countingReader counts the bytes actually read from a request body, so
+// payload accounting covers chunked uploads (ContentLength == -1) too.
+type countingReader struct {
+	rc io.ReadCloser
+	n  int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.rc.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingReader) Close() error { return c.rc.Close() }
+
+// instrument wraps an endpoint handler with the request/latency/payload
+// metrics, bounds the request body, and applies fault injection to
+// injectable (data-plane) endpoints. Metric handles are resolved once
+// per endpoint at mux build time.
+func (s *Server) instrument(endpoint string, injectable bool, h http.HandlerFunc) http.HandlerFunc {
+	reqs := s.mReqs.With(endpoint)
+	payload := s.mPayload.With(endpoint)
+	lat := s.hLatency.With(endpoint)
+	reject := s.mInjected.With("reject")
+	dropAck := s.mInjected.With("drop-ack")
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqs.Inc()
+		var cr *countingReader
+		if r.Body != nil {
+			cr = &countingReader{rc: http.MaxBytesReader(w, r.Body, maxUploadBytes)}
+			r.Body = cr
+		}
+		mode := faultNone
+		if injectable {
+			if f := s.injector(); f != nil {
+				mode = f.roll()
+			}
+		}
+		switch mode {
+		case faultReject:
+			reject.Inc()
+			http.Error(w, "injected failure (rejected)", http.StatusServiceUnavailable)
+		case faultDropAck:
+			dropAck.Inc()
+			h(&discardResponse{}, r)
+			http.Error(w, "injected failure (ack dropped)", http.StatusServiceUnavailable)
+		default:
+			h(w, r)
+		}
+		if cr != nil {
+			payload.Add(cr.n)
+		}
+		lat.Observe(time.Since(start).Seconds())
+	}
+}
+
+// ingest runs one decoded payload against the store, honoring its
+// idempotency key. It reports whether the payload was applied (false
+// means a deduplicated replay).
+func (s *Server) ingest(endpoint, key string, apply func(*dataset.Store)) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.store.MarkApplied(key) {
+		s.mDedupe.With(endpoint).Inc()
+		return false
+	}
+	apply(s.store)
+	return true
+}
+
+// jsonEndpoint serves one logical endpoint directly. Requests may carry
+// an Idempotency-Key header; replays of an applied key are acknowledged
+// without being re-applied.
+func (s *Server) jsonEndpoint(endpoint string) http.HandlerFunc {
+	af := s.appliers[endpoint]
+	decodeErrs := s.mDecodeErrs.With(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			decodeErrs.Inc()
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		apply, err := af(body)
+		if err != nil {
+			decodeErrs.Inc()
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.ingest(endpoint, r.Header.Get("Idempotency-Key"), apply)
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+// BatchItem is one spooled payload inside a /v1/batch request. The JSON
+// shape matches spool.Item's wire encoding.
+type BatchItem struct {
+	Endpoint string          `json:"endpoint"`
+	Key      string          `json:"key"`
+	Body     json.RawMessage `json:"body"`
+}
+
+// BatchResult summarizes one /v1/batch ingestion.
+type BatchResult struct {
+	Applied    int `json:"applied"`
+	Duplicates int `json:"duplicates"`
+	Rejected   int `json:"rejected"`
+}
+
+// handleBatch ingests a batch of spooled uploads. Items are applied
+// independently: an undecodable item is counted and skipped without
+// failing the batch (the client's payloads are machine-generated, so a
+// decode error is a bug, not a retryable condition), and duplicate keys
+// are acknowledged without re-applying.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var items []BatchItem
+	if err := json.NewDecoder(r.Body).Decode(&items); err != nil {
+		s.mDecodeErrs.With("/v1/batch").Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var res BatchResult
+	for _, it := range items {
+		af := s.appliers[it.Endpoint]
+		if af == nil {
+			s.mDecodeErrs.With("/v1/batch").Inc()
+			res.Rejected++
+			continue
+		}
+		apply, err := af(it.Body)
+		if err != nil {
+			s.mDecodeErrs.With(it.Endpoint).Inc()
+			res.Rejected++
+			continue
+		}
+		s.mItems.With(it.Endpoint).Inc()
+		if s.ingest(it.Endpoint, it.Key, apply) {
+			res.Applied++
+		} else {
+			res.Duplicates++
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
+}
 
 // Close shuts the server down gracefully: the heartbeat socket stops
 // immediately, while in-flight uploads get closeTimeout to finish
@@ -153,75 +434,14 @@ func (s *Server) Close() error {
 	return s.closeErr
 }
 
-// instrument wraps an endpoint handler with the request/latency/payload
-// metrics. Metric handles are resolved once per endpoint at mux build
-// time, so the per-request cost is three atomic updates and a clock read.
-func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
-	reqs := s.mReqs.With(endpoint)
-	payload := s.mPayload.With(endpoint)
-	lat := s.hLatency.With(endpoint)
-	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		reqs.Inc()
-		if r.ContentLength > 0 {
-			payload.Add(r.ContentLength)
-		}
-		h(w, r)
-		lat.Observe(time.Since(start).Seconds())
-	}
-}
-
-func jsonHandler[T any](s *Server, endpoint string, apply func(*dataset.Store, T)) http.HandlerFunc {
-	decodeErrs := s.mDecodeErrs.With(endpoint)
-	return func(w http.ResponseWriter, r *http.Request) {
-		var v T
-		if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
-			decodeErrs.Inc()
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		s.mu.Lock()
-		apply(s.store, v)
-		s.mu.Unlock()
-		w.WriteHeader(http.StatusNoContent)
-	}
-}
-
 type registerReq struct {
 	RouterID string `json:"router_id"`
 	Country  string `json:"country"`
 }
 
-func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
-	var req registerReq
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.RouterID == "" {
-		s.mDecodeErrs.With("/v1/register").Inc()
-		http.Error(w, "bad register", http.StatusBadRequest)
-		return
-	}
-	s.mu.Lock()
-	s.store.RouterCountry[req.RouterID] = req.Country
-	s.mu.Unlock()
-	w.WriteHeader(http.StatusNoContent)
-}
-
 type censusUpload struct {
 	Count     dataset.DeviceCount      `json:"count"`
 	Sightings []dataset.DeviceSighting `json:"sightings"`
-}
-
-func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
-	var up censusUpload
-	if err := json.NewDecoder(r.Body).Decode(&up); err != nil {
-		s.mDecodeErrs.With("/v1/devices").Inc()
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	s.mu.Lock()
-	s.store.Counts = append(s.store.Counts, up.Count)
-	s.store.Sightings = append(s.store.Sightings, up.Sightings...)
-	s.mu.Unlock()
-	w.WriteHeader(http.StatusNoContent)
 }
 
 // Stats summarizes what the server has collected.
@@ -292,11 +512,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // Client reports a gateway's measurements to a Server over the network.
 // It implements gateway.Sink.
+//
+// Measurement uploads are spooled, not posted inline: each Sink call
+// marshals its payload, stamps it with an idempotency key, and enqueues
+// it; the spool's drainer delivers batches to /v1/batch with retries
+// under exponential backoff. The Sink methods therefore never block on
+// the network and never lose rows to a transient failure — matching the
+// firmware, which buffered to flash and uploaded opportunistically.
+// Heartbeats stay fire-and-forget UDP by design (a lost heartbeat is
+// itself the signal the Heartbeats data set measures).
 type Client struct {
 	routerID string
 	baseURL  string
 	hb       *heartbeat.Sender
 	httpc    *http.Client
+	sp       *spool.Spooler
 
 	mUploads  *telemetry.CounterVec
 	mFailures *telemetry.CounterVec
@@ -305,9 +535,36 @@ type Client struct {
 	lastErr error
 }
 
+// Option tunes a Client.
+type Option func(*clientOptions)
+
+type clientOptions struct {
+	transport http.RoundTripper
+	spool     spool.Config
+}
+
+// WithTransport installs a custom HTTP transport (e.g. a
+// spool.FaultTransport in reliability tests).
+func WithTransport(rt http.RoundTripper) Option {
+	return func(o *clientOptions) { o.transport = rt }
+}
+
+// WithSpool overrides the upload spool configuration (queue capacity,
+// batch size, retry backoff, journal directory).
+func WithSpool(cfg spool.Config) Option {
+	return func(o *clientOptions) { o.spool = cfg }
+}
+
+// flushTimeout bounds how long Close waits for the spool to drain.
+const flushTimeout = 1500 * time.Millisecond
+
 // NewClient dials the server. udpAddr receives heartbeats, httpAddr the
 // uploads.
-func NewClient(routerID, country, udpAddr, httpAddr string) (*Client, error) {
+func NewClient(routerID, country, udpAddr, httpAddr string, opts ...Option) (*Client, error) {
+	var o clientOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	hb, err := heartbeat.NewSender(routerID, udpAddr)
 	if err != nil {
 		return nil, err
@@ -317,27 +574,56 @@ func NewClient(routerID, country, udpAddr, httpAddr string) (*Client, error) {
 		routerID: routerID,
 		baseURL:  "http://" + httpAddr,
 		hb:       hb,
-		httpc:    &http.Client{Timeout: 10 * time.Second},
+		httpc:    &http.Client{Timeout: 10 * time.Second, Transport: o.transport},
 		mUploads: reg.CounterVec("natpeek_client_uploads_total",
-			"Upload attempts from this process's collector clients, per endpoint.", "endpoint"),
+			"Upload payloads produced by this process's collector clients, per endpoint.", "endpoint"),
 		mFailures: reg.CounterVec("natpeek_client_upload_failures_total",
-			"Failed upload attempts, per endpoint.", "endpoint"),
+			"Failed upload delivery attempts, per endpoint.", "endpoint"),
 	}
+	o.spool.KeyPrefix = routerID
+	sp, err := spool.New(o.spool, c.sendBatch)
+	if err != nil {
+		hb.Close()
+		return nil, err
+	}
+	c.sp = sp
+	// Registration is the one synchronous call: a client that cannot
+	// reach the server at all should fail construction, not queue.
 	if err := c.post("/v1/register", registerReq{RouterID: routerID, Country: country}); err != nil {
+		sp.Close()
 		hb.Close()
 		return nil, err
 	}
 	return c, nil
 }
 
-// Close releases the client's sockets.
-func (c *Client) Close() error { return c.hb.Close() }
+// Close drains the spool (bounded by flushTimeout), stops the drainer,
+// and releases the client's sockets. With a journal configured,
+// undrained items survive to the next run; without one they are lost
+// after the flush window (counted in natpeek_spool_depth at exit).
+func (c *Client) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), flushTimeout)
+	defer cancel()
+	_ = c.sp.Flush(ctx)
+	err := c.sp.Close()
+	if herr := c.hb.Close(); err == nil {
+		err = herr
+	}
+	return err
+}
+
+// Flush blocks until every spooled upload has been acknowledged by the
+// server, or ctx is done.
+func (c *Client) Flush(ctx context.Context) error { return c.sp.Flush(ctx) }
+
+// SpoolDepth returns the number of uploads still queued for delivery.
+func (c *Client) SpoolDepth() int { return c.sp.Depth() }
 
 // Err returns the most recent upload or heartbeat error, or nil if no
-// attempt has failed yet. Uploads stay fire-and-forget on the measurement
-// path (gateway.Sink has no error returns, matching the firmware), but
-// the failure is no longer invisible: it lands here and in
-// natpeek_client_upload_failures_total.
+// attempt has failed yet. Uploads stay non-blocking on the measurement
+// path (gateway.Sink has no error returns, matching the firmware), and
+// failed deliveries are retried by the spool — but the failure is not
+// invisible: it lands here and in natpeek_client_upload_failures_total.
 func (c *Client) Err() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -352,6 +638,16 @@ func (c *Client) fail(endpoint string, err error) error {
 	return err
 }
 
+// drainBody reads a response body to EOF (bounded) so the keep-alive
+// connection can be reused, returning the first bytes for error context.
+func drainBody(resp *http.Response) string {
+	head, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	io.Copy(io.Discard, resp.Body)
+	return strings.TrimSpace(string(head))
+}
+
+// post performs one synchronous POST (registration only). The error
+// body, if any, is drained before close so the connection is reused.
 func (c *Client) post(path string, v any) error {
 	c.mUploads.With(path).Inc()
 	body, err := json.Marshal(v)
@@ -362,11 +658,66 @@ func (c *Client) post(path string, v any) error {
 	if err != nil {
 		return c.fail(path, fmt.Errorf("collector: POST %s: %w", path, err))
 	}
+	msg := drainBody(resp)
 	resp.Body.Close()
 	if resp.StatusCode >= 300 {
-		return c.fail(path, fmt.Errorf("collector: POST %s: status %d", path, resp.StatusCode))
+		return c.fail(path, fmt.Errorf("collector: POST %s: status %d: %s", path, resp.StatusCode, msg))
 	}
 	return nil
+}
+
+// sendBatch is the spool's Sender: one POST of a whole batch to
+// /v1/batch. Any transport error or non-2xx status leaves the batch
+// queued; the server's idempotency keys make the redelivery safe.
+func (c *Client) sendBatch(ctx context.Context, items []spool.Item) error {
+	payload := make([]BatchItem, len(items))
+	for i, it := range items {
+		payload[i] = BatchItem{Endpoint: it.Endpoint, Key: it.Key, Body: it.Body}
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+"/v1/batch", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return c.failBatch(items, fmt.Errorf("collector: POST /v1/batch: %w", err))
+	}
+	msg := drainBody(resp)
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return c.failBatch(items, fmt.Errorf("collector: POST /v1/batch: status %d: %s", resp.StatusCode, msg))
+	}
+	return nil
+}
+
+func (c *Client) failBatch(items []spool.Item, err error) error {
+	seen := make(map[string]bool, 2)
+	for _, it := range items {
+		if !seen[it.Endpoint] {
+			seen[it.Endpoint] = true
+			c.mFailures.With(it.Endpoint).Inc()
+		}
+	}
+	c.mu.Lock()
+	c.lastErr = err
+	c.mu.Unlock()
+	return err
+}
+
+// enqueue spools one measurement payload for background delivery.
+func (c *Client) enqueue(path string, v any) {
+	c.mUploads.With(path).Inc()
+	body, err := json.Marshal(v)
+	if err != nil {
+		_ = c.fail(path, err)
+		return
+	}
+	c.sp.Enqueue(path, body)
 }
 
 // Heartbeat implements gateway.Sink. Errors are dropped by design —
@@ -379,29 +730,29 @@ func (c *Client) Heartbeat(_ string, at time.Time) {
 }
 
 // UptimeReport implements gateway.Sink.
-func (c *Client) UptimeReport(r dataset.UptimeReport) { _ = c.post("/v1/uptime", r) }
+func (c *Client) UptimeReport(r dataset.UptimeReport) { c.enqueue("/v1/uptime", r) }
 
 // CapacityMeasure implements gateway.Sink.
-func (c *Client) CapacityMeasure(m dataset.CapacityMeasure) { _ = c.post("/v1/capacity", m) }
+func (c *Client) CapacityMeasure(m dataset.CapacityMeasure) { c.enqueue("/v1/capacity", m) }
 
 // DeviceCensus implements gateway.Sink.
 func (c *Client) DeviceCensus(count dataset.DeviceCount, sightings []dataset.DeviceSighting) {
-	_ = c.post("/v1/devices", censusUpload{Count: count, Sightings: sightings})
+	c.enqueue("/v1/devices", censusUpload{Count: count, Sightings: sightings})
 }
 
 // WiFiScan implements gateway.Sink.
-func (c *Client) WiFiScan(scans []dataset.WiFiScan) { _ = c.post("/v1/wifi", scans) }
+func (c *Client) WiFiScan(scans []dataset.WiFiScan) { c.enqueue("/v1/wifi", scans) }
 
 // TrafficFlows implements gateway.Sink.
 func (c *Client) TrafficFlows(flows []dataset.FlowRecord) {
 	if len(flows) > 0 {
-		_ = c.post("/v1/traffic/flows", flows)
+		c.enqueue("/v1/traffic/flows", flows)
 	}
 }
 
 // TrafficThroughput implements gateway.Sink.
 func (c *Client) TrafficThroughput(samples []dataset.ThroughputSample) {
 	if len(samples) > 0 {
-		_ = c.post("/v1/traffic/throughput", samples)
+		c.enqueue("/v1/traffic/throughput", samples)
 	}
 }

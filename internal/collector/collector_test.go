@@ -1,6 +1,7 @@
 package collector
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"strings"
@@ -26,6 +27,18 @@ func startPair(t *testing.T) (*Server, *Client) {
 	}
 	t.Cleanup(func() { cli.Close() })
 	return srv, cli
+}
+
+// flush drains cli's upload spool so the rows it produced are visible in
+// the server's store (uploads are asynchronous by design).
+func flush(t *testing.T, cli *Client) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cli.Flush(ctx); err != nil {
+		// t.Error, not t.Fatal: flush is also used from helper goroutines.
+		t.Error(err)
+	}
 }
 
 func waitFor(t *testing.T, cond func() bool) {
@@ -71,6 +84,7 @@ func TestUploadsLandInStore(t *testing.T) {
 	cli.TrafficThroughput([]dataset.ThroughputSample{{
 		RouterID: "router-1", Minute: t0, Dir: "down", PeakBps: 12e6, TotalBytes: 9e7,
 	}})
+	flush(t, cli)
 
 	st := srv.Store()
 	if len(st.Uptime) != 1 || st.Uptime[0].Uptime != time.Hour {
@@ -100,6 +114,7 @@ func TestEmptyTrafficUploadsSkipped(t *testing.T) {
 	srv, cli := startPair(t)
 	cli.TrafficFlows(nil)
 	cli.TrafficThroughput(nil)
+	flush(t, cli)
 	if len(srv.Store().Flows) != 0 || len(srv.Store().Throughput) != 0 {
 		t.Fatal("empty uploads created rows")
 	}
@@ -108,6 +123,7 @@ func TestEmptyTrafficUploadsSkipped(t *testing.T) {
 func TestStatsEndpoint(t *testing.T) {
 	srv, cli := startPair(t)
 	cli.UptimeReport(dataset.UptimeReport{RouterID: "router-1", ReportedAt: t0})
+	flush(t, cli)
 	resp, err := http.Get("http://" + srv.HTTPAddr() + "/v1/stats")
 	if err != nil {
 		t.Fatal(err)
@@ -150,6 +166,7 @@ func TestMACSurvivesJSONRoundTrip(t *testing.T) {
 	hw := mac.MustParse("b0:a7:37:12:34:56")
 	cli.DeviceCensus(dataset.DeviceCount{RouterID: "router-1", At: t0},
 		[]dataset.DeviceSighting{{RouterID: "router-1", At: t0, Device: hw, Kind: dataset.Wired}})
+	flush(t, cli)
 	if srv.Store().Sightings[0].Device != hw {
 		t.Fatalf("MAC mangled: %v", srv.Store().Sightings[0].Device)
 	}

@@ -110,6 +110,7 @@ func TestConcurrentUploads(t *testing.T) {
 			for j := 0; j < 20; j++ {
 				cli.UptimeReport(dataset.UptimeReport{RouterID: "rc", ReportedAt: time.Now()})
 			}
+			flush(t, cli)
 			errs <- nil
 		}(i)
 	}

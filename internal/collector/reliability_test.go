@@ -1,0 +1,371 @@
+package collector
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"natpeek/internal/dataset"
+	"natpeek/internal/spool"
+)
+
+// fastSpool keeps client retry backoffs tiny so outage tests converge.
+func fastSpool(cfg spool.Config) spool.Config {
+	cfg.RetryMin = time.Millisecond
+	cfg.RetryMax = 20 * time.Millisecond
+	cfg.Timeout = 2 * time.Second
+	return cfg
+}
+
+// restartServer brings a replacement server up on the exact addresses a
+// closed one used, retrying briefly while the kernel releases the ports.
+func restartServer(t *testing.T, udpAddr, httpAddr string, store *dataset.Store) *Server {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		srv, err := NewServer(udpAddr, httpAddr, store)
+		if err == nil {
+			return srv
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("could not rebind %s / %s: %v", udpAddr, httpAddr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestZeroRowLossThroughFaultsAndRestart is the acceptance test for the
+// reliable upload pipeline: with 30% of upload POSTs failing (half
+// rejected outright, half applied with the acknowledgment dropped) AND a
+// full collector restart mid-run, every row produced by the gateway must
+// land in the store exactly once, with the retries and dedupes visible
+// on /metrics.
+func TestZeroRowLossThroughFaultsAndRestart(t *testing.T) {
+	store := dataset.NewStore()
+	srv, err := NewServer("127.0.0.1:0", "127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	udpAddr, httpAddr := srv.UDPAddr(), srv.HTTPAddr()
+	m0 := scrape(t, httpAddr)
+	srv.SetFaultInjection(0.3, 7)
+
+	cli, err := NewClient("r-rel", "US", udpAddr, httpAddr,
+		WithSpool(fastSpool(spool.Config{MaxBatch: 8})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	const phase1, phase2 = 120, 80
+	report := func(i int) dataset.UptimeReport {
+		// A unique Uptime value identifies each logical row, so both loss
+		// and duplication are detectable.
+		return dataset.UptimeReport{
+			RouterID:   "r-rel",
+			ReportedAt: t0,
+			Uptime:     time.Duration(i+1) * time.Second,
+		}
+	}
+	for i := 0; i < phase1; i++ {
+		cli.UptimeReport(report(i))
+	}
+	// Let some rows land through the flaky server, then kill it with the
+	// spool still carrying the rest.
+	waitFor(t, func() bool { return srv.stats().Uptime >= 20 })
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The outage: the gateway keeps measuring and keeps retrying.
+	for i := phase1; i < phase1+phase2; i++ {
+		cli.UptimeReport(report(i))
+	}
+
+	srv2 := restartServer(t, udpAddr, httpAddr, store)
+	defer srv2.Close()
+	srv2.SetFaultInjection(0.3, 9)
+	flush(t, cli)
+
+	const want = phase1 + phase2
+	if got := srv2.stats().Uptime; got != want {
+		t.Fatalf("uptime rows = %d, want exactly %d (lost or duplicated through faults/restart)", got, want)
+	}
+	// Exactly-once by content, not just by count.
+	m1 := scrape(t, httpAddr)
+	srv2.Close()
+	seen := make(map[time.Duration]bool, want)
+	for _, r := range store.Uptime {
+		if seen[r.Uptime] {
+			t.Fatalf("row %v ingested twice", r.Uptime)
+		}
+		seen[r.Uptime] = true
+	}
+
+	// The reliability machinery must have visibly worked for its living.
+	if d := m1["natpeek_spool_retries_total"] - m0["natpeek_spool_retries_total"]; d <= 0 {
+		t.Errorf("spool retries delta = %v, want > 0", d)
+	}
+	injected := m1[`natpeek_collector_injected_failures_total{mode="reject"}`] -
+		m0[`natpeek_collector_injected_failures_total{mode="reject"}`] +
+		m1[`natpeek_collector_injected_failures_total{mode="drop-ack"}`] -
+		m0[`natpeek_collector_injected_failures_total{mode="drop-ack"}`]
+	if injected <= 0 {
+		t.Errorf("injected failures delta = %v, want > 0", injected)
+	}
+	dedupeKey := `natpeek_collector_dedupe_total{endpoint="/v1/uptime"}`
+	if d := m1[dedupeKey] - m0[dedupeKey]; d <= 0 {
+		t.Errorf("dedupe delta = %v, want > 0 (drop-ack faults must force replays)", d)
+	}
+	if cli.SpoolDepth() != 0 {
+		t.Errorf("spool depth = %d after flush", cli.SpoolDepth())
+	}
+}
+
+// TestSpoolJournalSurvivesClientRestart drives the client-side half of
+// the durability story: rows spooled during a total outage survive the
+// gateway process dying and are delivered by its replacement.
+func TestSpoolJournalSurvivesClientRestart(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	dir := t.TempDir()
+
+	// Run 1 registers, then the link blacks out entirely: no upload
+	// reaches the server at all (server-side injection would not do —
+	// its drop-ack mode stores rows on purpose).
+	ft := spool.NewFaultTransport(nil, 0, 3)
+	cli1, err := NewClient("r-dur", "US", srv.UDPAddr(), srv.HTTPAddr(),
+		WithTransport(ft), WithSpool(fastSpool(spool.Config{Dir: dir})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft.SetBlackout(true)
+	for i := 0; i < 5; i++ {
+		cli1.UptimeReport(dataset.UptimeReport{
+			RouterID: "r-dur", ReportedAt: t0, Uptime: time.Duration(i+1) * time.Minute,
+		})
+	}
+	waitFor(t, func() bool { return cli1.Err() != nil })
+	if err := cli1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(srv.Store().Uptime); got != 0 {
+		t.Fatalf("rows landed during blackout: %d", got)
+	}
+
+	// Run 2 recovers the journal and drains it.
+	cli2, err := NewClient("r-dur", "US", srv.UDPAddr(), srv.HTTPAddr(),
+		WithSpool(fastSpool(spool.Config{Dir: dir})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli2.Close()
+	flush(t, cli2)
+	if got := len(srv.Store().Uptime); got != 5 {
+		t.Fatalf("uptime rows after journal recovery = %d, want 5", got)
+	}
+}
+
+func TestBatchReplayDeduped(t *testing.T) {
+	srv, _ := startPair(t)
+	row := func(uptime time.Duration) json.RawMessage {
+		b, _ := json.Marshal(dataset.UptimeReport{RouterID: "router-1", ReportedAt: t0, Uptime: uptime})
+		return b
+	}
+	batch := []BatchItem{
+		{Endpoint: "/v1/uptime", Key: "k1", Body: row(time.Hour)},
+		{Endpoint: "/v1/uptime", Key: "k2", Body: row(2 * time.Hour)},
+	}
+	post := func() BatchResult {
+		t.Helper()
+		body, _ := json.Marshal(batch)
+		resp, err := http.Post("http://"+srv.HTTPAddr()+"/v1/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var res BatchResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if res := post(); res.Applied != 2 || res.Duplicates != 0 {
+		t.Fatalf("first batch: %+v", res)
+	}
+	// The retry of the whole batch — the lost-ack case — must be a no-op.
+	if res := post(); res.Applied != 0 || res.Duplicates != 2 {
+		t.Fatalf("replayed batch: %+v", res)
+	}
+	if got := len(srv.Store().Uptime); got != 2 {
+		t.Fatalf("uptime rows = %d, want 2", got)
+	}
+}
+
+func TestBatchRejectsUnknownEndpointAndBadItem(t *testing.T) {
+	srv, _ := startPair(t)
+	good, _ := json.Marshal(dataset.UptimeReport{RouterID: "router-1", ReportedAt: t0, Uptime: time.Hour})
+	batch := []BatchItem{
+		{Endpoint: "/v1/uptime", Key: "ok-1", Body: good},
+		{Endpoint: "/v1/nonsense", Key: "bad-1", Body: good},
+		{Endpoint: "/v1/uptime", Key: "bad-2", Body: json.RawMessage(`"not an uptime report"`)},
+	}
+	body, _ := json.Marshal(batch)
+	resp, err := http.Post("http://"+srv.HTTPAddr()+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res BatchResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 || res.Rejected != 2 {
+		t.Fatalf("result %+v, want 1 applied / 2 rejected", res)
+	}
+	if got := len(srv.Store().Uptime); got != 1 {
+		t.Fatalf("uptime rows = %d, want 1", got)
+	}
+}
+
+func TestIdempotencyKeyHeaderOnDirectPost(t *testing.T) {
+	srv, _ := startPair(t)
+	body, _ := json.Marshal(dataset.UptimeReport{RouterID: "router-1", ReportedAt: t0, Uptime: time.Hour})
+	for i := 0; i < 3; i++ {
+		req, err := http.NewRequest(http.MethodPost, "http://"+srv.HTTPAddr()+"/v1/uptime", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Idempotency-Key", "direct-1")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+	}
+	if got := len(srv.Store().Uptime); got != 1 {
+		t.Fatalf("uptime rows = %d, want 1 (header replays deduped)", got)
+	}
+}
+
+// TestOversizedUploadRejected proves MaxBytesReader bounds request
+// bodies: a body past the limit is refused and stores nothing.
+func TestOversizedUploadRejected(t *testing.T) {
+	srv, _ := startPair(t)
+	big := make([]byte, maxUploadBytes+2)
+	for i := range big {
+		big[i] = ' '
+	}
+	big[0] = '['
+	resp, err := http.Post("http://"+srv.HTTPAddr()+"/v1/wifi", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode < 400 {
+		t.Fatalf("oversized upload accepted: status %d", resp.StatusCode)
+	}
+	if got := len(srv.Store().WiFi); got != 0 {
+		t.Fatalf("wifi rows = %d after oversized upload", got)
+	}
+}
+
+// TestChunkedUploadPayloadCounted regresses the payload-accounting fix:
+// a chunked request (ContentLength -1) must count the bytes actually
+// read, not zero.
+func TestChunkedUploadPayloadCounted(t *testing.T) {
+	srv, _ := startPair(t)
+	key := `natpeek_http_payload_bytes_total{endpoint="/v1/uptime"}`
+	m0 := scrape(t, srv.HTTPAddr())
+
+	body, _ := json.Marshal(dataset.UptimeReport{RouterID: "router-1", ReportedAt: t0, Uptime: time.Hour})
+	pr, pw := io.Pipe()
+	go func() {
+		pw.Write(body)
+		pw.Close()
+	}()
+	// A pipe reader has no known length, forcing chunked transfer.
+	req, err := http.NewRequest(http.MethodPost, "http://"+srv.HTTPAddr()+"/v1/uptime", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+
+	m1 := scrape(t, srv.HTTPAddr())
+	if d := m1[key] - m0[key]; d != float64(len(body)) {
+		t.Fatalf("payload bytes delta = %v, want %d (chunked body must be counted)", d, len(body))
+	}
+}
+
+// TestErrorResponsesReuseConnection regresses the drain-before-close
+// fix: repeated 5xx responses must ride one keep-alive connection, not
+// dial per attempt.
+func TestErrorResponsesReuseConnection(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var dials atomic.Int64
+	tr := &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			dials.Add(1)
+			var d net.Dialer
+			return d.DialContext(ctx, network, addr)
+		},
+	}
+	cli, err := NewClient("r-ka", "US", srv.UDPAddr(), srv.HTTPAddr(),
+		WithTransport(tr), WithSpool(fastSpool(spool.Config{})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// Every upload now 503s (with an error body the client must drain).
+	// The request counter is process-global, so judge by delta.
+	attemptsKey := `natpeek_http_requests_total{endpoint="/v1/batch"}`
+	before := scrape(t, srv.HTTPAddr())[attemptsKey]
+	srv.SetFaultInjection(1.0, 5)
+	cli.UptimeReport(dataset.UptimeReport{RouterID: "r-ka", ReportedAt: t0, Uptime: time.Hour})
+	waitFor(t, func() bool {
+		return scrape(t, srv.HTTPAddr())[attemptsKey]-before >= failedAttemptsWanted
+	})
+	if got := dials.Load(); got > 2 {
+		t.Fatalf("dials = %d across %v+ failed attempts; error bodies not drained, keep-alive lost",
+			got, failedAttemptsWanted)
+	}
+	srv.SetFaultInjection(0, 0)
+	flush(t, cli)
+	if got := len(srv.Store().Uptime); got != 1 {
+		t.Fatalf("uptime rows = %d, want 1", got)
+	}
+}
+
+// failedAttemptsWanted is how many 503'd batch POSTs the keep-alive
+// test waits for before judging connection reuse.
+const failedAttemptsWanted = 6

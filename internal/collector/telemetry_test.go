@@ -58,6 +58,7 @@ func TestStatsEndpointRowCounts(t *testing.T) {
 	srv, cli := startPair(t)
 	cli.UptimeReport(dataset.UptimeReport{RouterID: "router-1", ReportedAt: t0, Uptime: time.Hour})
 	cli.WiFiScan([]dataset.WiFiScan{{RouterID: "router-1", At: t0}})
+	flush(t, cli)
 
 	resp, err := http.Get("http://" + srv.HTTPAddr() + "/v1/stats")
 	if err != nil {
@@ -76,6 +77,7 @@ func TestStatsEndpointRowCounts(t *testing.T) {
 func TestHealthzEndpoint(t *testing.T) {
 	srv, cli := startPair(t)
 	cli.UptimeReport(dataset.UptimeReport{RouterID: "router-1", ReportedAt: t0})
+	flush(t, cli)
 
 	resp, err := http.Get("http://" + srv.HTTPAddr() + "/healthz")
 	if err != nil {
@@ -112,18 +114,26 @@ func TestMetricsExposition(t *testing.T) {
 			cli.UptimeReport(dataset.UptimeReport{RouterID: "router-1", ReportedAt: t0})
 			cli.WiFiScan([]dataset.WiFiScan{{RouterID: "router-1", At: t0}})
 		}
+		flush(t, cli)
 	}
 	before := srv.Store().Heartbeats.Count("router-1")
 	burst()
 	waitFor(t, func() bool { return srv.Store().Heartbeats.Count("router-1") >= before+5 })
 
+	// Uploads ride the spooled batch path, so the HTTP-level series live
+	// on /v1/batch while per-logical-endpoint accounting moves to the
+	// spool and batch-item counters.
 	m1 := scrape(t, srv.HTTPAddr())
 	checks := []string{
 		"natpeek_heartbeats_received_total",
-		`natpeek_http_requests_total{endpoint="/v1/uptime"}`,
-		`natpeek_http_requests_total{endpoint="/v1/wifi"}`,
-		`natpeek_http_payload_bytes_total{endpoint="/v1/uptime"}`,
-		`natpeek_http_request_seconds_count{endpoint="/v1/uptime"}`,
+		`natpeek_http_requests_total{endpoint="/v1/batch"}`,
+		`natpeek_http_payload_bytes_total{endpoint="/v1/batch"}`,
+		`natpeek_http_request_seconds_count{endpoint="/v1/batch"}`,
+		`natpeek_collector_batch_items_total{endpoint="/v1/uptime"}`,
+		`natpeek_collector_batch_items_total{endpoint="/v1/wifi"}`,
+		`natpeek_spool_enqueued_total{endpoint="/v1/uptime"}`,
+		`natpeek_spool_sent_total{endpoint="/v1/uptime"}`,
+		"natpeek_spool_batches_total",
 		`natpeek_client_uploads_total{endpoint="/v1/uptime"}`,
 		`natpeek_client_uploads_total{endpoint="heartbeat"}`,
 	}
@@ -145,11 +155,11 @@ func TestMetricsExposition(t *testing.T) {
 			t.Errorf("%s went backwards: %v -> %v", k, m1[k], m2[k])
 		}
 	}
-	if m2[`natpeek_http_requests_total{endpoint="/v1/uptime"}`] <
-		m1[`natpeek_http_requests_total{endpoint="/v1/uptime"}`]+5 {
-		t.Errorf("uptime request counter did not advance by the burst size: %v -> %v",
-			m1[`natpeek_http_requests_total{endpoint="/v1/uptime"}`],
-			m2[`natpeek_http_requests_total{endpoint="/v1/uptime"}`])
+	if m2[`natpeek_collector_batch_items_total{endpoint="/v1/uptime"}`] <
+		m1[`natpeek_collector_batch_items_total{endpoint="/v1/uptime"}`]+5 {
+		t.Errorf("uptime item counter did not advance by the burst size: %v -> %v",
+			m1[`natpeek_collector_batch_items_total{endpoint="/v1/uptime"}`],
+			m2[`natpeek_collector_batch_items_total{endpoint="/v1/uptime"}`])
 	}
 }
 
@@ -214,6 +224,7 @@ func TestConcurrentHeartbeatsAndUploads(t *testing.T) {
 				cli.UptimeReport(dataset.UptimeReport{RouterID: id, ReportedAt: t0})
 				cli.WiFiScan([]dataset.WiFiScan{{RouterID: id, At: t0}})
 			}
+			flush(t, cli)
 		}(i)
 	}
 	// Scrape concurrently with the upload storm.
@@ -267,7 +278,10 @@ func TestClientErrSurfacesFailures(t *testing.T) {
 	}
 	srv.Close()
 	cli.UptimeReport(dataset.UptimeReport{RouterID: "router-1", ReportedAt: t0})
-	if cli.Err() == nil {
-		t.Fatal("upload against closed server left Err() nil")
+	// The spool's drainer surfaces the failure asynchronously (and keeps
+	// the row queued for retry).
+	waitFor(t, func() bool { return cli.Err() != nil })
+	if cli.SpoolDepth() == 0 {
+		t.Fatal("failed upload was not retained for retry")
 	}
 }

@@ -157,6 +157,12 @@ type Store struct {
 	// RouterCountry maps router IDs to ISO country codes (deployment
 	// metadata, the join key for all per-country analyses).
 	RouterCountry map[string]string
+
+	// Applied remembers which upload idempotency keys have already been
+	// ingested, making the at-least-once upload pipeline safe to retry
+	// (see dedupe.go). Not persisted: the retry horizon is far shorter
+	// than a study, and replays across studies carry fresh keys.
+	Applied AppliedIndex
 }
 
 // NewStore returns an empty store.

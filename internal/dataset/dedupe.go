@@ -1,0 +1,54 @@
+// Idempotency bookkeeping for the collection pipeline. The upload path
+// is at-least-once (the gateway's spool redelivers until acknowledged),
+// so the store remembers which idempotency keys it has already applied
+// and the collector skips replays. The index lives with the data it
+// guards: a collector restart that reuses the store keeps its dedupe
+// state, so retries that straddle the restart still apply exactly once.
+package dataset
+
+// appliedCap bounds the dedupe index. Keys are evicted FIFO, so the
+// window covers the most recent appliedCap uploads — far longer than any
+// client's retry horizon.
+const appliedCap = 1 << 20
+
+// AppliedIndex is a bounded set of idempotency keys with FIFO eviction.
+type AppliedIndex struct {
+	seen  map[string]bool
+	order []string
+	head  int
+}
+
+// Mark records key and reports whether it was new (i.e. the caller
+// should apply the payload). The empty key is always new: unkeyed
+// uploads opt out of deduplication.
+func (a *AppliedIndex) Mark(key string) bool {
+	if key == "" {
+		return true
+	}
+	if a.seen == nil {
+		a.seen = make(map[string]bool)
+	}
+	if a.seen[key] {
+		return false
+	}
+	if len(a.seen) >= appliedCap {
+		old := a.order[a.head]
+		a.order[a.head] = ""
+		a.head++
+		delete(a.seen, old)
+		if a.head > appliedCap { // amortized compaction of the evicted prefix
+			a.order = append([]string(nil), a.order[a.head:]...)
+			a.head = 0
+		}
+	}
+	a.seen[key] = true
+	a.order = append(a.order, key)
+	return true
+}
+
+// Len returns the number of remembered keys.
+func (a *AppliedIndex) Len() int { return len(a.seen) }
+
+// MarkApplied is Store's entry point to the dedupe index; callers must
+// hold whatever lock serializes store mutation (the collector's).
+func (s *Store) MarkApplied(key string) bool { return s.Applied.Mark(key) }

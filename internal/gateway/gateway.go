@@ -161,13 +161,15 @@ type Agent struct {
 	caps      *capmgmt.Manager
 	capAlerts []capmgmt.Alert
 
-	bootAt    time.Time
-	running   bool
-	tasks     []*eventsim.Task
-	scanSkips int
+	bootAt  time.Time
+	running bool
+	tasks   []*eventsim.Task
 
-	// exported watermark for incremental flow export
-	exportedFlows int
+	// scanSkips throttles WiFi scans per radio (index 0 = 2.4 GHz,
+	// 1 = 5 GHz). The counters are independent: with clients on both
+	// bands, each radio still scans every ScanThrottle-th pass instead
+	// of the two radios splitting one budget on alternating passes.
+	scanSkips [2]int
 
 	// measurement-loop telemetry, resolved once per agent; every counter
 	// is shared across the fleet, so the fleet-wide run/skip balance is
@@ -262,7 +264,7 @@ func (a *Agent) PowerOff(now time.Time) {
 		t.Cancel()
 	}
 	a.tasks = nil
-	a.flushTraffic(now)
+	a.finalFlush(now)
 }
 
 // sendHeartbeat emits one heartbeat unless the link is in outage (the
@@ -313,13 +315,13 @@ func (a *Agent) census(now time.Time) {
 // associated (the §3.2.2 disassociation side effect).
 func (a *Agent) scan(now time.Time) {
 	var scans []dataset.WiFiScan
-	for _, r := range []*wifi.Radio{a.env.Radio24, a.env.Radio5} {
+	for i, r := range []*wifi.Radio{a.env.Radio24, a.env.Radio5} {
 		if r == nil {
 			continue
 		}
 		if r.ClientCount() > 0 {
-			a.scanSkips++
-			if a.scanSkips%a.cfg.ScanThrottle != 0 {
+			a.scanSkips[i]++
+			if a.scanSkips[i]%a.cfg.ScanThrottle != 0 {
 				a.mSkips.scan.Inc()
 				continue
 			}
@@ -438,16 +440,34 @@ func (a *Agent) CapAlerts() []capmgmt.Alert {
 func (a *Agent) Monitor() *capture.Monitor { return a.monitor }
 
 // flushTraffic exports newly finished flow records and throughput
-// samples if the household consented.
+// samples if the household consented. Export drains the monitor's
+// finished-flow list, so each flow is exported exactly once, with final
+// totals — live flows wait for idle timeout (or power-off) rather than
+// being exported mid-life with partial counts.
 func (a *Agent) flushTraffic(now time.Time) {
 	if !a.cfg.TrafficConsent {
 		return
 	}
 	a.monitor.ExpireFlows(now)
-	flows := a.monitor.Flows()
-	if len(flows) > a.exportedFlows {
-		var recs []dataset.FlowRecord
-		for _, f := range flows[a.exportedFlows:] {
+	a.exportFinished()
+}
+
+// finalFlush is flushTraffic for power-off: every live flow is finished
+// first (the real firmware persisted its buffers to flash), so nothing
+// in the monitor is lost with the power.
+func (a *Agent) finalFlush(now time.Time) {
+	if !a.cfg.TrafficConsent {
+		return
+	}
+	a.monitor.ExpireFlows(now)
+	a.monitor.FinishAll()
+	a.exportFinished()
+}
+
+func (a *Agent) exportFinished() {
+	if flows := a.monitor.TakeFinishedFlows(); len(flows) > 0 {
+		recs := make([]dataset.FlowRecord, 0, len(flows))
+		for _, f := range flows {
 			recs = append(recs, dataset.FlowRecord{
 				RouterID:  a.cfg.ID,
 				Device:    f.Key.Device,
@@ -462,7 +482,6 @@ func (a *Agent) flushTraffic(now time.Time) {
 				Conns:     1,
 			})
 		}
-		a.exportedFlows = len(flows)
 		a.sink.TrafficFlows(recs)
 	}
 	samples := a.aggregateThroughput()

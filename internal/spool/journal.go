@@ -1,0 +1,192 @@
+// Disk journal for the spool: an append-only JSONL file of put/ack
+// records, compacted in place once enough acks accumulate. This is the
+// reproduction's stand-in for the firmware's flash-backed measurement
+// buffers — cheap sequential appends on the hot path, recovery by replay
+// on startup.
+package spool
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// journalFile is the single journal inside Config.Dir.
+const journalFile = "spool.jsonl"
+
+// compactEvery triggers a rewrite after this many acks, bounding file
+// growth to roughly the live queue plus one compaction window.
+const compactEvery = 1024
+
+// record is one journal line. Op "put" carries an Item; op "ack" marks
+// the item with the same key delivered (or dropped on overflow).
+type record struct {
+	Op   string `json:"op"`
+	Key  string `json:"key,omitempty"`
+	Item *Item  `json:"item,omitempty"`
+}
+
+// journal is not safe for concurrent use; the Spooler serializes access
+// under its mutex. Write errors disable the journal (the spool degrades
+// to in-memory) rather than failing the measurement path.
+type journal struct {
+	path string
+	f    *os.File
+	w    *bufio.Writer
+	acks int
+	err  error
+}
+
+// openJournal opens (creating if needed) dir's journal and returns the
+// undelivered items found in it, in original enqueue order.
+func openJournal(dir string) (*journal, []Item, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	path := filepath.Join(dir, journalFile)
+	items, err := replay(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	j := &journal{path: path}
+	// Compact on open: the rewritten file is exactly the live items.
+	if err := j.rewrite(items); err != nil {
+		return nil, nil, err
+	}
+	return j, items, nil
+}
+
+// replay reads the journal and reduces put/ack pairs to the pending set.
+// A torn final line (crash mid-append) is tolerated and dropped.
+func replay(path string) ([]Item, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	pending := make(map[string]int) // key → index into items; -1 = acked
+	var items []Item
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal(line, &r); err != nil {
+			continue // torn tail or corruption: skip, keep what decodes
+		}
+		switch r.Op {
+		case "put":
+			if r.Item != nil {
+				pending[r.Item.Key] = len(items)
+				items = append(items, *r.Item)
+			}
+		case "ack":
+			pending[r.Key] = -1
+		}
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return nil, err
+	}
+	out := items[:0]
+	for _, it := range items {
+		if pending[it.Key] >= 0 {
+			out = append(out, it)
+		}
+	}
+	return out, nil
+}
+
+// rewrite atomically replaces the journal with just the given items.
+func (j *journal) rewrite(items []Item) error {
+	if j.f != nil {
+		j.w.Flush()
+		j.f.Close()
+		j.f = nil
+	}
+	tmp := j.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for i := range items {
+		if err := enc.Encode(record{Op: "put", Item: &items[i]}); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		return err
+	}
+	f, err = os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	j.acks = 0
+	return nil
+}
+
+func (j *journal) append(r record) {
+	if j.err != nil || j.f == nil {
+		return
+	}
+	b, err := json.Marshal(r)
+	if err == nil {
+		_, err = j.w.Write(append(b, '\n'))
+	}
+	if err == nil {
+		err = j.w.Flush()
+	}
+	if err != nil {
+		j.err = err // degrade to in-memory; Close surfaces the error
+	}
+}
+
+func (j *journal) put(it Item) { j.append(record{Op: "put", Item: &it}) }
+
+func (j *journal) ack(key string) {
+	j.append(record{Op: "ack", Key: key})
+	if j.acks++; j.acks >= compactEvery && j.err == nil {
+		items, err := replay(j.path)
+		if err == nil {
+			err = j.rewrite(items)
+		}
+		if err != nil {
+			j.err = err
+		}
+	}
+}
+
+func (j *journal) close() error {
+	if j.f != nil {
+		j.w.Flush()
+		if err := j.f.Close(); err != nil && j.err == nil {
+			j.err = err
+		}
+		j.f = nil
+	}
+	return j.err
+}

@@ -1,0 +1,376 @@
+// Package spool is the durability layer of the upload pipeline. The
+// paper's firmware persisted measurement buffers to flash so uploads
+// survived connectivity loss (§3.2.2); this package is the reproduction's
+// equivalent: a bounded per-endpoint queue that the collector client
+// enqueues into, drained by a background goroutine that batches queued
+// payloads into single POSTs and retries under exponential backoff with
+// jitter. Rows leave the spool only after the server acknowledges them,
+// so transient 5xx responses, timeouts, and collector restarts cost
+// retries, not data.
+//
+// Delivery is at-least-once: every item carries an idempotency key
+// (router ID + per-run nonce + sequence number) and the collector dedupes
+// replays, so the pipeline as a whole is effectively exactly-once. When a
+// queue overflows, the oldest items are dropped and counted in
+// natpeek_spool_dropped_total — overload degrades to bounded, observable
+// loss instead of unbounded memory growth.
+//
+// With Config.Dir set the queue is also journaled to disk, so items
+// survive a process restart (see journal.go).
+package spool
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	mrand "math/rand"
+	"sync"
+	"time"
+
+	"natpeek/internal/telemetry"
+)
+
+// Item is one queued payload awaiting delivery.
+type Item struct {
+	// Endpoint is the logical upload endpoint (e.g. "/v1/uptime").
+	Endpoint string `json:"endpoint"`
+	// Key is the item's idempotency key; the server applies each key at
+	// most once, which makes redelivery safe.
+	Key string `json:"key"`
+	// Body is the endpoint's JSON payload.
+	Body json.RawMessage `json:"body"`
+	// Seq orders items within their endpoint queue (monotonic per run).
+	Seq uint64 `json:"seq"`
+}
+
+// Sender delivers one batch of items. A nil error acknowledges the whole
+// batch; any error leaves every item queued for retry. The context
+// carries the per-request timeout.
+type Sender func(ctx context.Context, items []Item) error
+
+// Config tunes a Spooler. The zero value gets sensible defaults.
+type Config struct {
+	// KeyPrefix namespaces idempotency keys (normally the router ID).
+	KeyPrefix string
+	// Capacity bounds each endpoint queue (default 4096 items). On
+	// overflow the oldest item is dropped and counted.
+	Capacity int
+	// MaxBatch bounds how many items one Sender call may carry
+	// (default 64).
+	MaxBatch int
+	// RetryMin/RetryMax bound the exponential backoff between failed
+	// delivery attempts (defaults 100ms and 10s). Each wait is jittered
+	// uniformly in [wait/2, wait].
+	RetryMin time.Duration
+	RetryMax time.Duration
+	// Timeout bounds each Sender call (default 10s).
+	Timeout time.Duration
+	// Dir, when non-empty, journals the queue to Dir/spool.jsonl so
+	// undelivered items survive a process restart.
+	Dir string
+}
+
+func (c *Config) fill() {
+	if c.Capacity <= 0 {
+		c.Capacity = 4096
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.RetryMin <= 0 {
+		c.RetryMin = 100 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 10 * time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+}
+
+// queue is one endpoint's FIFO. Items are strictly seq-ordered; the
+// drainer acknowledges deliveries by seq so enqueue/overflow during an
+// in-flight batch cannot confuse removal.
+type queue struct {
+	items []Item
+	seq   uint64
+}
+
+// Spooler owns the per-endpoint queues and the background drainer.
+type Spooler struct {
+	cfg  Config
+	send Sender
+
+	mu       sync.Mutex
+	queues   map[string]*queue
+	order    []string // endpoint registration order, for fair draining
+	depth    int
+	nonce    string
+	journal  *journal
+	closed   bool
+	inflight bool
+
+	wake chan struct{}
+	done chan struct{}
+	dead chan struct{} // closed when the drainer exits
+
+	mEnqueued *telemetry.CounterVec
+	mSent     *telemetry.CounterVec
+	mDropped  *telemetry.CounterVec
+	mRetries  *telemetry.Counter
+	mBatches  *telemetry.Counter
+	gDepth    *telemetry.Gauge
+}
+
+// New starts a spooler whose drainer delivers batches through send. If
+// cfg.Dir is set, previously journaled items are recovered into the
+// queues before the drainer starts.
+func New(cfg Config, send Sender) (*Spooler, error) {
+	cfg.fill()
+	var nb [4]byte
+	_, _ = rand.Read(nb[:])
+	reg := telemetry.Default
+	s := &Spooler{
+		cfg:    cfg,
+		send:   send,
+		queues: make(map[string]*queue),
+		nonce:  hex.EncodeToString(nb[:]),
+		wake:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
+		dead:   make(chan struct{}),
+		mEnqueued: reg.CounterVec("natpeek_spool_enqueued_total",
+			"Payloads accepted into upload spools, per endpoint.", "endpoint"),
+		mSent: reg.CounterVec("natpeek_spool_sent_total",
+			"Payloads acknowledged by the collector, per endpoint.", "endpoint"),
+		mDropped: reg.CounterVec("natpeek_spool_dropped_total",
+			"Payloads dropped on queue overflow (oldest first), per endpoint.", "endpoint"),
+		mRetries: reg.Counter("natpeek_spool_retries_total",
+			"Failed delivery attempts that left the batch queued for retry."),
+		mBatches: reg.Counter("natpeek_spool_batches_total",
+			"Successfully delivered batches."),
+		gDepth: reg.Gauge("natpeek_spool_depth",
+			"Payloads currently queued across all spools in this process."),
+	}
+	if cfg.Dir != "" {
+		j, items, err := openJournal(cfg.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("spool: journal: %w", err)
+		}
+		s.journal = j
+		for _, it := range items {
+			s.recover(it)
+		}
+	}
+	go s.drain()
+	return s, nil
+}
+
+// recover re-queues one journaled item, keeping its original key (so a
+// delivery that was acked but not yet compacted stays deduplicable) and
+// advancing the endpoint's seq counter past it.
+func (s *Spooler) recover(it Item) {
+	q := s.queue(it.Endpoint)
+	if it.Seq > q.seq {
+		q.seq = it.Seq
+	}
+	it.Seq = q.seq // keep queue strictly ordered even across runs
+	q.seq++
+	q.items = append(q.items, it)
+	s.depth++
+	s.gDepth.Add(1)
+}
+
+func (s *Spooler) queue(endpoint string) *queue {
+	q := s.queues[endpoint]
+	if q == nil {
+		q = &queue{}
+		s.queues[endpoint] = q
+		s.order = append(s.order, endpoint)
+	}
+	return q
+}
+
+// Enqueue accepts one payload for eventual delivery. It never blocks: a
+// full queue drops its oldest item (counted) to make room.
+func (s *Spooler) Enqueue(endpoint string, body []byte) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	q := s.queue(endpoint)
+	it := Item{
+		Endpoint: endpoint,
+		Seq:      q.seq,
+		Key:      fmt.Sprintf("%s:%s:%s:%d", s.cfg.KeyPrefix, s.nonce, endpoint, q.seq),
+		Body:     append(json.RawMessage(nil), body...),
+	}
+	q.seq++
+	if len(q.items) >= s.cfg.Capacity {
+		dropped := q.items[0]
+		q.items = q.items[1:]
+		s.depth--
+		s.gDepth.Add(-1)
+		s.mDropped.With(endpoint).Inc()
+		if s.journal != nil {
+			s.journal.ack(dropped.Key)
+		}
+	}
+	q.items = append(q.items, it)
+	s.depth++
+	s.gDepth.Add(1)
+	s.mEnqueued.With(endpoint).Inc()
+	if s.journal != nil {
+		s.journal.put(it)
+	}
+	s.mu.Unlock()
+	s.kick()
+}
+
+func (s *Spooler) kick() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Depth returns the number of queued, unacknowledged items.
+func (s *Spooler) Depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.depth
+}
+
+// take snapshots up to MaxBatch items from the queue fronts without
+// removing them; items are only removed once the batch is acknowledged.
+func (s *Spooler) take() []Item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Item
+	for _, ep := range s.order {
+		q := s.queues[ep]
+		for _, it := range q.items {
+			if len(out) >= s.cfg.MaxBatch {
+				return out
+			}
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// ack removes delivered items. Removal is by sequence number, so items
+// that overflowed out of the queue mid-flight are simply not there to
+// remove and freshly enqueued items (higher seq) are untouched.
+func (s *Spooler) ack(items []Item) {
+	maxSeq := make(map[string]uint64, len(items))
+	for _, it := range items {
+		if cur, ok := maxSeq[it.Endpoint]; !ok || it.Seq > cur {
+			maxSeq[it.Endpoint] = it.Seq
+		}
+		s.mSent.With(it.Endpoint).Inc()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for ep, seq := range maxSeq {
+		q := s.queues[ep]
+		n := 0
+		for n < len(q.items) && q.items[n].Seq <= seq {
+			if s.journal != nil {
+				s.journal.ack(q.items[n].Key)
+			}
+			n++
+		}
+		q.items = q.items[n:]
+		s.depth -= n
+		s.gDepth.Add(float64(-n))
+	}
+}
+
+// drain is the background delivery loop.
+func (s *Spooler) drain() {
+	defer close(s.dead)
+	backoff := s.cfg.RetryMin
+	for {
+		items := s.take()
+		if len(items) == 0 {
+			select {
+			case <-s.wake:
+				continue
+			case <-s.done:
+				// Final sweep: anything enqueued between take and Close.
+				if items = s.take(); len(items) == 0 {
+					return
+				}
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.Timeout)
+		err := s.send(ctx, items)
+		cancel()
+		if err == nil {
+			s.ack(items)
+			s.mBatches.Inc()
+			backoff = s.cfg.RetryMin
+			continue
+		}
+		s.mRetries.Inc()
+		select {
+		case <-time.After(jitter(backoff)):
+		case <-s.done:
+			return
+		}
+		if backoff *= 2; backoff > s.cfg.RetryMax {
+			backoff = s.cfg.RetryMax
+		}
+	}
+}
+
+// jitter spreads a backoff wait uniformly over [d/2, d] so a fleet of
+// gateways does not retry in lockstep after a collector outage.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(mrand.Int63n(int64(half)))
+}
+
+// Flush blocks until every queued item has been delivered or ctx is
+// done, returning ctx's error in the latter case.
+func (s *Spooler) Flush(ctx context.Context) error {
+	for {
+		if s.Depth() == 0 {
+			return nil
+		}
+		s.kick()
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("spool: flush: %d items still queued: %w", s.Depth(), ctx.Err())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// Close stops the drainer (after at most one in-flight attempt) and
+// closes the journal. Undelivered items stay journaled for the next run;
+// without a journal they are lost (use Flush first to avoid that).
+func (s *Spooler) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.dead
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	<-s.dead
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal != nil {
+		return s.journal.close()
+	}
+	return nil
+}
