@@ -1,13 +1,18 @@
 # Tier-1 verification plus the race/bench targets the telemetry PR added.
 #
-#   make check   # vet + build + tests with -race (what CI should run)
-#   make bench   # full reproduction driver (tables/figures + ablations)
+#   make check        # vet + build + tests with -race + the verify gate
+#   make check-verify # golden runs, conservation invariants, parser fuzzing
+#   make bench        # full reproduction driver (tables/figures + ablations)
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-telemetry check-reliability
+# Per-target budget for the short fuzz shake-out in check-verify.
+FUZZTIME ?= 10s
 
-check: vet build race
+.PHONY: check vet build test race bench bench-telemetry check-reliability \
+	check-verify fuzz-seeds
+
+check: vet build race check-verify
 
 vet:
 	$(GO) vet ./...
@@ -38,3 +43,26 @@ check-reliability:
 	$(GO) test -race ./internal/spool/
 	$(GO) test -race -run 'TestZeroRowLoss|TestSpoolJournal|TestBatch|TestIdempotency|TestOversized|TestChunked|TestErrorResponses|TestClientErrSurfacesFailures' ./internal/collector/
 	$(GO) test -race -run 'TestFlowExport|TestPowerOffExports|TestScanThrottle' ./internal/gateway/
+
+# The correctness-harness gate:
+#   1. golden runs — a deterministic deployment through the real
+#      agent→spool→HTTP→collector path, snapshots compared against
+#      testdata/golden (regenerate with: go test ./internal/verify -update);
+#   2. cross-layer conservation invariants and the determinism check
+#      (same seed twice → byte-identical snapshots);
+#   3. round-trip and export regressions for the wire/disk formats;
+#   4. a short fuzz shake-out of every wire/disk parser ($(FUZZTIME)
+#      each) on top of their checked-in seed corpora.
+check-verify: fuzz-seeds
+	$(GO) test -race ./internal/verify/
+	$(GO) test -race -run 'TestThroughput|TestWriterReaderRoundTrip|TestReaderTruncatedStream|TestJournal' \
+		./internal/gateway/ ./internal/pcap/ ./internal/spool/
+	$(GO) test -run='^$$' -fuzz='FuzzParse' -fuzztime=$(FUZZTIME) ./internal/dns/
+	$(GO) test -run='^$$' -fuzz='FuzzReader' -fuzztime=$(FUZZTIME) ./internal/pcap/
+	$(GO) test -run='^$$' -fuzz='FuzzDecode' -fuzztime=$(FUZZTIME) ./internal/packet/
+	$(GO) test -run='^$$' -fuzz='FuzzJournalReplay' -fuzztime=$(FUZZTIME) ./internal/spool/
+	$(GO) test -run='^$$' -fuzz='FuzzRequestDecode' -fuzztime=$(FUZZTIME) ./internal/collector/
+
+# Replay the checked-in fuzz corpora as plain unit tests (fast, -race).
+fuzz-seeds:
+	$(GO) test -race -run 'Fuzz' ./internal/dns/ ./internal/pcap/ ./internal/packet/ ./internal/spool/ ./internal/collector/

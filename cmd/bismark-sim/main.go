@@ -16,11 +16,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"natpeek"
 	"natpeek/internal/telemetry"
+	"natpeek/internal/verify"
 )
 
 func main() {
@@ -30,6 +32,7 @@ func main() {
 	short := flag.Duration("short", 0, "cap each collection window (0 = the paper's full windows)")
 	out := flag.String("out", "data", "output directory for the CSV data sets")
 	report := flag.Bool("report", false, "also print every regenerated table and figure")
+	verifyRun := flag.Bool("verify", false, "run the correctness harness instead: a small deployment through a real collector, checked against the cross-layer conservation invariants")
 	debugAddr := flag.String("debug-addr", "", "optional listen address for /metrics and pprof during the run")
 	flag.Parse()
 
@@ -44,6 +47,11 @@ func main() {
 		defer dbg.Close()
 		log.Info("debug listener up", "metrics", "http://"+dbg.Addr()+"/metrics",
 			"pprof", "http://"+dbg.Addr()+"/debug/pprof/")
+	}
+
+	if *verifyRun {
+		runVerify(log, *seed)
+		return
 	}
 
 	start := time.Now()
@@ -83,4 +91,31 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runVerify executes the verification harness: the full agent → spool →
+// HTTP → collector path on loopback, then every conservation and schema
+// invariant. Exit status 1 if any invariant is violated.
+func runVerify(log *slog.Logger, seed uint64) {
+	start := time.Now()
+	r, err := verify.Run(verify.Config{Seed: seed})
+	if err != nil {
+		log.Error("verify run failed", "err", err)
+		os.Exit(1)
+	}
+	acct := r.World.Acct
+	log.Info("verify run finished",
+		"took", time.Since(start).Round(time.Millisecond).String(),
+		"homes", acct.Homes, "frames", acct.Frames,
+		"flow_records", len(r.Ingested.Flows),
+		"bytes_up", acct.FrameUpBytes, "bytes_down", acct.FrameDownBytes)
+	fails := verify.CheckAll(r, nil)
+	if len(fails) == 0 {
+		fmt.Println("all invariants hold")
+		return
+	}
+	for _, f := range fails {
+		fmt.Println("INVARIANT VIOLATED:", f)
+	}
+	os.Exit(1)
 }

@@ -427,6 +427,31 @@ func (m *Monitor) TakeThroughput(dir Dir) []SecondSample {
 	return out
 }
 
+// TakeThroughputBefore returns and clears only the samples strictly
+// before cutoff, leaving later ones (and the live second, unless it is
+// already past) buffered. Periodic exporters use a minute-aligned
+// cutoff so an in-progress minute is never split across two uploads.
+func (m *Monitor) TakeThroughputBefore(dir Dir, cutoff time.Time) []SecondSample {
+	t := m.perSec[dir]
+	if t.bytes > 0 && t.cur.Before(cutoff) {
+		t.flush()
+	}
+	var out, keep []SecondSample
+	for _, s := range t.history {
+		if s.Second.Before(cutoff) {
+			out = append(out, s)
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	t.history = keep
+	return out
+}
+
+// DNSCacheLen reports how many distinct remote addresses currently have
+// a sniffed domain mapping — an oracle for end-to-end verification.
+func (m *Monitor) DNSCacheLen() int { return m.dns.Len() }
+
 // DomainBytes aggregates traffic volume per domain across all flows.
 // Flows with no resolved domain are grouped under "" (the caller decides
 // whether to count them as unattributed).

@@ -124,28 +124,7 @@ func NewServer(udpAddr, httpAddr string, store *dataset.Store) (*Server, error) 
 		hLatency: reg.HistogramVec("natpeek_http_request_seconds",
 			"Upload API request handling latency.", nil, "endpoint"),
 	}
-	s.appliers = map[string]applyFunc{
-		"/v1/register": decodeApplyRegister(),
-		"/v1/uptime": decodeApply(func(st *dataset.Store, r dataset.UptimeReport) {
-			st.Uptime = append(st.Uptime, r)
-		}),
-		"/v1/capacity": decodeApply(func(st *dataset.Store, c dataset.CapacityMeasure) {
-			st.Capacity = append(st.Capacity, c)
-		}),
-		"/v1/devices": decodeApply(func(st *dataset.Store, up censusUpload) {
-			st.Counts = append(st.Counts, up.Count)
-			st.Sightings = append(st.Sightings, up.Sightings...)
-		}),
-		"/v1/wifi": decodeApply(func(st *dataset.Store, scans []dataset.WiFiScan) {
-			st.WiFi = append(st.WiFi, scans...)
-		}),
-		"/v1/traffic/flows": decodeApply(func(st *dataset.Store, fl []dataset.FlowRecord) {
-			st.Flows = append(st.Flows, fl...)
-		}),
-		"/v1/traffic/throughput": decodeApply(func(st *dataset.Store, ts []dataset.ThroughputSample) {
-			st.Throughput = append(st.Throughput, ts...)
-		}),
-	}
+	s.appliers = newAppliers()
 	rx, err := heartbeat.NewReceiver(udpAddr, store.Heartbeats, nil)
 	if err != nil {
 		return nil, err
@@ -175,6 +154,35 @@ func NewServer(udpAddr, httpAddr string, store *dataset.Store) (*Server, error) 
 	go s.http.Serve(ln)
 	s.log.Debug("listening", "udp", s.UDPAddr(), "http", s.HTTPAddr())
 	return s, nil
+}
+
+// newAppliers builds the decode table for every logical upload
+// endpoint. It is a package-level constructor (rather than inline in
+// NewServer) so request decoding can be exercised — and fuzzed —
+// without sockets or a live server.
+func newAppliers() map[string]applyFunc {
+	return map[string]applyFunc{
+		"/v1/register": decodeApplyRegister(),
+		"/v1/uptime": decodeApply(func(st *dataset.Store, r dataset.UptimeReport) {
+			st.Uptime = append(st.Uptime, r)
+		}),
+		"/v1/capacity": decodeApply(func(st *dataset.Store, c dataset.CapacityMeasure) {
+			st.Capacity = append(st.Capacity, c)
+		}),
+		"/v1/devices": decodeApply(func(st *dataset.Store, up censusUpload) {
+			st.Counts = append(st.Counts, up.Count)
+			st.Sightings = append(st.Sightings, up.Sightings...)
+		}),
+		"/v1/wifi": decodeApply(func(st *dataset.Store, scans []dataset.WiFiScan) {
+			st.WiFi = append(st.WiFi, scans...)
+		}),
+		"/v1/traffic/flows": decodeApply(func(st *dataset.Store, fl []dataset.FlowRecord) {
+			st.Flows = append(st.Flows, fl...)
+		}),
+		"/v1/traffic/throughput": decodeApply(func(st *dataset.Store, ts []dataset.ThroughputSample) {
+			st.Throughput = append(st.Throughput, ts...)
+		}),
+	}
 }
 
 // decodeApplyRegister validates registration on top of the generic

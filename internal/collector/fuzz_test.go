@@ -1,0 +1,101 @@
+package collector
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"testing"
+
+	"natpeek/internal/dataset"
+)
+
+// FuzzRequestDecode fuzzes the upload API's decode surface: every /v1/*
+// endpoint's payload decoder plus the /v1/batch envelope, applied to a
+// throwaway store — the exact code path a hostile POST body reaches.
+// Properties:
+//
+//  1. No decoder panics, and an accepted payload applies cleanly.
+//  2. decode∘encode = id for every typed endpoint payload: a decoded
+//     value re-encoded by the client's encoder (encoding/json, the same
+//     one collector.Client uses) decodes back to the same encoding.
+func FuzzRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"RouterID":"bismark-US-001","ReportedAt":"2013-04-01T00:00:00Z","Uptime":3600000000000}`))
+	f.Add([]byte(`{"RouterID":"bismark-IN-002","MeasuredAt":"2013-04-02T12:00:00Z","UpBps":450000,"DownBps":8000000}`))
+	f.Add([]byte(`{"count":{"RouterID":"r","At":"2013-03-06T00:00:00Z","Wired":1,"W24":2,"W5":0},` +
+		`"sightings":[{"RouterID":"r","At":"2013-03-06T00:00:00Z","Device":"00:1c:b3:a1:b2:c3","Kind":1}]}`))
+	f.Add([]byte(`[{"RouterID":"r","At":"2012-11-01T00:10:00Z","Band":"2.4GHz","Channel":11,"VisibleAPs":7,"Clients":2}]`))
+	f.Add([]byte(`[{"RouterID":"r","Device":"00:1c:b3:a1:b2:c3","Domain":"anon-0123456789abcdef","Proto":"tcp",` +
+		`"First":"2013-04-01T10:00:00Z","Last":"2013-04-01T10:05:00Z","UpBytes":1000,"DownBytes":90000,` +
+		`"UpPkts":10,"DownPkts":70,"Conns":1}]`))
+	f.Add([]byte(`[{"RouterID":"r","Minute":"2013-04-01T10:00:00Z","Dir":"up","PeakBps":1048576,"TotalBytes":500000}]`))
+	f.Add([]byte(`{"router_id":"bismark-US-001","country":"US"}`))
+	f.Add([]byte(`[{"endpoint":"/v1/uptime","key":"k1","body":{"RouterID":"r"}},` +
+		`{"endpoint":"/v1/nope","key":"k2","body":{}},{"endpoint":"/v1/wifi","key":"k3","body":"notanarray"}]`))
+	f.Add([]byte(`null`))
+
+	appliers := newAppliers()
+	var endpoints []string
+	for ep := range appliers {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Direct endpoint decode: the body is offered to every endpoint,
+		// as a mis-routed client could.
+		for _, ep := range endpoints {
+			if apply, err := appliers[ep](data); err == nil {
+				apply(dataset.NewStore())
+			}
+		}
+		// Batch envelope: items route to per-endpoint decoders; unknown
+		// endpoints and undecodable bodies must be skipped, not fatal.
+		var items []BatchItem
+		if json.Unmarshal(data, &items) == nil {
+			st := dataset.NewStore()
+			for _, it := range items {
+				af := appliers[it.Endpoint]
+				if af == nil {
+					continue
+				}
+				if apply, err := af(it.Body); err == nil {
+					apply(st)
+				}
+			}
+		}
+		// Round-trip every typed payload the client can encode.
+		roundTrip[dataset.UptimeReport](t, data)
+		roundTrip[dataset.CapacityMeasure](t, data)
+		roundTrip[censusUpload](t, data)
+		roundTrip[[]dataset.WiFiScan](t, data)
+		roundTrip[[]dataset.FlowRecord](t, data)
+		roundTrip[[]dataset.ThroughputSample](t, data)
+		roundTrip[registerReq](t, data)
+		roundTrip[[]BatchItem](t, data)
+	})
+}
+
+// roundTrip asserts that once data decodes as T, encode→decode→encode
+// is stable: the server always accepts what the client encodes.
+func roundTrip[T any](t *testing.T, data []byte) {
+	t.Helper()
+	var v T
+	if json.Unmarshal(data, &v) != nil {
+		return
+	}
+	b2, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("%T: decoded value does not re-encode: %v", v, err)
+	}
+	var v2 T
+	if err := json.Unmarshal(b2, &v2); err != nil {
+		t.Fatalf("%T: own encoding rejected on re-decode: %v\n b2=%s", v, err, b2)
+	}
+	b3, err := json.Marshal(v2)
+	if err != nil {
+		t.Fatalf("%T: re-encode failed: %v", v, err)
+	}
+	if !bytes.Equal(b2, b3) {
+		t.Fatalf("%T: encode not stable:\n b2=%s\n b3=%s", v, b2, b3)
+	}
+}

@@ -201,6 +201,12 @@ func appendName(b []byte, name string) []byte {
 	name = strings.TrimSuffix(name, ".")
 	if name != "" {
 		for _, label := range strings.Split(name, ".") {
+			if label == "" {
+				// Consecutive or leading dots would otherwise encode a
+				// zero-length label, which terminates the wire name early
+				// and truncates everything after it on re-parse.
+				continue
+			}
 			if len(label) > 63 {
 				label = label[:63]
 			}

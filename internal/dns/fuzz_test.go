@@ -1,0 +1,62 @@
+package dns
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+)
+
+func mustAddr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+// FuzzParse fuzzes the wire-format parser the gateway runs on every
+// sniffed port-53 payload. Properties:
+//
+//  1. Parse never panics, whatever the bytes.
+//  2. Cache.Observe accepts anything Parse accepted (the capture path
+//     feeds it unconditionally).
+//  3. Marshal∘Parse is a fixed point: this package encodes a canonical
+//     (uncompressed) form, so once a parsed message has been re-encoded,
+//     parsing and re-encoding again must reproduce identical bytes.
+//     Re-parse may legitimately fail — e.g. canonicalization can split a
+//     dotted label into more than the 128-label cap — but it must not
+//     produce different bytes.
+func FuzzParse(f *testing.F) {
+	// A realistic response the capture pipeline actually sniffs: query +
+	// A answer, as built by trafficgen's frame mode.
+	resp := NewQuery(0x1234, "www.example.com", TypeA).Answer(RR{
+		Name: "www.example.com", Type: TypeA, Class: ClassIN, TTL: 300,
+		Addr: mustAddr("203.0.113.7"),
+	})
+	f.Add(resp.Marshal())
+	// CNAME chain with an unknown-type record (raw RDATA path).
+	chain := NewQuery(7, "cdn.example.org", TypeA).
+		Answer(RR{Name: "cdn.example.org", Type: TypeCNAME, Class: ClassIN, TTL: 60, Target: "edge.example.net"}).
+		Answer(RR{Name: "edge.example.net", Type: TypeA, Class: ClassIN, TTL: 60, Addr: mustAddr("198.51.100.9")}).
+		Answer(RR{Name: "edge.example.net", Type: 16, Class: ClassIN, TTL: 60, Data: []byte("v=spf1")})
+	f.Add(chain.Marshal())
+	// Self-referential compression pointer at the first question name
+	// (offset 12 → 12): must be rejected, never spin.
+	f.Add([]byte("\x12\x34\x81\x80\x00\x01\x00\x00\x00\x00\x00\x00\xc0\x0c\x00\x01\x00\x01"))
+	// Mutual pointer loop 12→14→12.
+	f.Add([]byte("\x00\x01\x00\x00\x00\x01\x00\x00\x00\x00\x00\x00\xc0\x0e\xc0\x0c\x00\x01\x00\x01"))
+	// Truncated header.
+	f.Add([]byte("\x00\x01\x81"))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m1, err := Parse(b)
+		if err != nil {
+			return
+		}
+		c := NewCache(16)
+		c.Observe(m1)
+		b2 := m1.Marshal()
+		m2, err := Parse(b2)
+		if err != nil {
+			return
+		}
+		b3 := m2.Marshal()
+		if !bytes.Equal(b2, b3) {
+			t.Fatalf("Marshal∘Parse not a fixed point:\n b2=%x\n b3=%x", b2, b3)
+		}
+	})
+}

@@ -176,6 +176,8 @@ type Agent struct {
 	// one scrape away.
 	mRuns  *agentKindCounters
 	mSkips *agentKindCounters
+
+	stats ExportStats
 }
 
 // agentKindCounters caches the per-kind counters of one labeled family so
@@ -276,6 +278,7 @@ func (a *Agent) sendHeartbeat(now time.Time) {
 	}
 	a.mRuns.heartbeat.Inc()
 	a.sink.Heartbeat(a.cfg.ID, now)
+	a.stats.Heartbeats++
 }
 
 // census counts attached devices per connection kind and reports
@@ -309,6 +312,7 @@ func (a *Agent) census(now time.Time) {
 		}
 	}
 	a.sink.DeviceCensus(count, sightings)
+	a.stats.DeviceCensusRows += int64(1 + len(sightings))
 }
 
 // scan surveys both radios' channels, throttling when clients are
@@ -339,6 +343,7 @@ func (a *Agent) scan(now time.Time) {
 	}
 	if len(scans) > 0 {
 		a.sink.WiFiScan(scans)
+		a.stats.WiFiScanRows += int64(len(scans))
 	}
 }
 
@@ -351,6 +356,7 @@ func (a *Agent) report(sched *eventsim.Scheduler, now time.Time) {
 		ReportedAt: now,
 		Uptime:     now.Sub(a.bootAt),
 	})
+	a.stats.UptimeReports++
 	if a.env.Link != nil && !a.env.Link.Outage() {
 		a.mRuns.capacity.Inc()
 		a.probeCapacity(sched, now)
@@ -374,6 +380,7 @@ func (a *Agent) probeCapacity(sched *eventsim.Scheduler, now time.Time) {
 				UpBps:      up.SustainedBps,
 				DownBps:    down.SustainedBps,
 			})
+			a.stats.CapacityMeasures++
 		})
 	})
 }
@@ -393,6 +400,7 @@ func (a *Agent) ReportUptimeNow(now, bootedAt time.Time) {
 		ReportedAt: now,
 		Uptime:     now.Sub(bootedAt),
 	})
+	a.stats.UptimeReports++
 }
 
 // HandleFrame feeds one LAN-side frame to the passive monitor and, when
@@ -439,32 +447,86 @@ func (a *Agent) CapAlerts() []capmgmt.Alert {
 // Monitor exposes the passive monitor (read-only use in tests/examples).
 func (a *Agent) Monitor() *capture.Monitor { return a.monitor }
 
+// ExportStats tallies what an agent has handed to its sink, one counter
+// per data set. The verify harness compares these against what the
+// traffic generator produced and what the collector ingested — every
+// byte and row must be conserved across the layers.
+type ExportStats struct {
+	Heartbeats          int64
+	UptimeReports       int64
+	CapacityMeasures    int64
+	DeviceCensusRows    int64
+	WiFiScanRows        int64
+	FlowRecords         int64
+	FlowUpBytes         int64
+	FlowDownBytes       int64
+	FlowUpPkts          int64
+	FlowDownPkts        int64
+	ThroughputRows      int64
+	ThroughputUpBytes   int64
+	ThroughputDownBytes int64
+}
+
+// Add accumulates other into s (for fleet-wide totals).
+func (s *ExportStats) Add(other ExportStats) {
+	s.Heartbeats += other.Heartbeats
+	s.UptimeReports += other.UptimeReports
+	s.CapacityMeasures += other.CapacityMeasures
+	s.DeviceCensusRows += other.DeviceCensusRows
+	s.WiFiScanRows += other.WiFiScanRows
+	s.FlowRecords += other.FlowRecords
+	s.FlowUpBytes += other.FlowUpBytes
+	s.FlowDownBytes += other.FlowDownBytes
+	s.FlowUpPkts += other.FlowUpPkts
+	s.FlowDownPkts += other.FlowDownPkts
+	s.ThroughputRows += other.ThroughputRows
+	s.ThroughputUpBytes += other.ThroughputUpBytes
+	s.ThroughputDownBytes += other.ThroughputDownBytes
+}
+
+// ExportStats returns a snapshot of the agent's cumulative export
+// accounting.
+func (a *Agent) ExportStats() ExportStats { return a.stats }
+
 // flushTraffic exports newly finished flow records and throughput
 // samples if the household consented. Export drains the monitor's
 // finished-flow list, so each flow is exported exactly once, with final
 // totals — live flows wait for idle timeout (or power-off) rather than
-// being exported mid-life with partial counts.
+// being exported mid-life with partial counts. Throughput is exported
+// only for minutes complete at flush time: draining the in-progress
+// minute would split it across two uploads, producing two rows with the
+// same (router, minute, direction) dedupe key.
 func (a *Agent) flushTraffic(now time.Time) {
 	if !a.cfg.TrafficConsent {
 		return
 	}
 	a.monitor.ExpireFlows(now)
-	a.exportFinished()
+	cutoff := now.Truncate(time.Minute)
+	a.exportFinished(func(dir capture.Dir) []capture.SecondSample {
+		return a.monitor.TakeThroughputBefore(dir, cutoff)
+	})
 }
+
+// FlushTrafficNow forces a periodic-style traffic export at now, as if
+// the jittered report task had just fired. Harness hook: the verify
+// golden runs use it to flush at controlled instants.
+func (a *Agent) FlushTrafficNow(now time.Time) { a.flushTraffic(now) }
 
 // finalFlush is flushTraffic for power-off: every live flow is finished
 // first (the real firmware persisted its buffers to flash), so nothing
-// in the monitor is lost with the power.
+// in the monitor is lost with the power. Unlike the periodic flush, it
+// drains the in-progress minute too — there will be no later flush to
+// pick it up.
 func (a *Agent) finalFlush(now time.Time) {
 	if !a.cfg.TrafficConsent {
 		return
 	}
 	a.monitor.ExpireFlows(now)
 	a.monitor.FinishAll()
-	a.exportFinished()
+	a.exportFinished(a.monitor.TakeThroughput)
 }
 
-func (a *Agent) exportFinished() {
+func (a *Agent) exportFinished(take func(capture.Dir) []capture.SecondSample) {
 	if flows := a.monitor.TakeFinishedFlows(); len(flows) > 0 {
 		recs := make([]dataset.FlowRecord, 0, len(flows))
 		for _, f := range flows {
@@ -483,20 +545,36 @@ func (a *Agent) exportFinished() {
 			})
 		}
 		a.sink.TrafficFlows(recs)
+		a.stats.FlowRecords += int64(len(recs))
+		for _, r := range recs {
+			a.stats.FlowUpBytes += r.UpBytes
+			a.stats.FlowDownBytes += r.DownBytes
+			a.stats.FlowUpPkts += r.UpPkts
+			a.stats.FlowDownPkts += r.DownPkts
+		}
 	}
-	samples := a.aggregateThroughput()
+	samples := a.aggregateThroughput(take)
 	if len(samples) > 0 {
 		a.sink.TrafficThroughput(samples)
+		a.stats.ThroughputRows += int64(len(samples))
+		for _, s := range samples {
+			switch s.Dir {
+			case capture.Upstream.String():
+				a.stats.ThroughputUpBytes += s.TotalBytes
+			case capture.Downstream.String():
+				a.stats.ThroughputDownBytes += s.TotalBytes
+			}
+		}
 	}
 }
 
-// aggregateThroughput converts the monitor's per-second history into the
-// per-minute (peak, total) rows of the Traffic data set. The monitor's
-// history is consumed.
-func (a *Agent) aggregateThroughput() []dataset.ThroughputSample {
+// aggregateThroughput converts per-second history obtained from take
+// into the per-minute (peak, total) rows of the Traffic data set. The
+// taken history is consumed.
+func (a *Agent) aggregateThroughput(take func(capture.Dir) []capture.SecondSample) []dataset.ThroughputSample {
 	var out []dataset.ThroughputSample
 	for _, dir := range []capture.Dir{capture.Upstream, capture.Downstream} {
-		secs := a.monitor.TakeThroughput(dir)
+		secs := take(dir)
 		if len(secs) == 0 {
 			continue
 		}

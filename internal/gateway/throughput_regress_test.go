@@ -1,0 +1,85 @@
+package gateway
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"natpeek/internal/mac"
+	"natpeek/internal/packet"
+)
+
+// TestThroughputMinuteExportedOnce is the regression for the partial-
+// minute double export: a periodic traffic flush that lands mid-minute
+// used to drain the in-progress minute's seconds, so traffic later in
+// the same minute produced a second ThroughputSample for the same
+// (router, minute, direction) — splitting the §6.2 per-minute rows and
+// breaking the dedupe key the ingest invariants rely on. A flush may
+// only export minutes that are complete at flush time; the rest stays
+// buffered for the next flush (or power-off).
+func TestThroughputMinuteExportedOnce(t *testing.T) {
+	f := newFixture(t, true)
+	f.agent.PowerOn(f.sched)
+
+	devHW := mac.MustParse("00:1c:b3:aa:bb:cc")
+	bld := packet.NewBuilder(devHW, mac.MustParse("00:18:f8:01:02:03"))
+	frame := bld.UDPv4(netip.MustParseAddr("192.168.1.23"), netip.MustParseAddr("203.0.113.7"),
+		40000, 443, 64, make([]byte, 400))
+
+	at := t0.Add(10 * time.Hour) // 10:00:00, a minute boundary
+	f.agent.HandleFrame(frame, true, at)
+	f.agent.HandleFrame(frame, true, at.Add(10*time.Second))
+	// Periodic flush fires mid-minute (the report task is jittered, so
+	// in production it almost always does).
+	f.agent.flushTraffic(at.Add(30 * time.Second))
+	f.agent.HandleFrame(frame, true, at.Add(50*time.Second))
+	f.agent.flushTraffic(at.Add(90 * time.Second))
+	f.agent.PowerOff(at.Add(2 * time.Minute))
+
+	seen := make(map[string]int64)
+	var total int64
+	for _, s := range f.sink.samples {
+		key := s.Minute.UTC().String() + "/" + s.Dir
+		if _, dup := seen[key]; dup {
+			t.Errorf("duplicate throughput row for %s (bytes %d and %d)", key, seen[key], s.TotalBytes)
+		}
+		seen[key] = s.TotalBytes
+		if !s.Minute.Equal(s.Minute.Truncate(time.Minute)) {
+			t.Errorf("sample minute %v not minute-aligned", s.Minute)
+		}
+		total += s.TotalBytes
+	}
+	if want := int64(3 * len(frame)); total != want {
+		t.Errorf("total exported bytes = %d, want %d", total, want)
+	}
+	if got, want := seen[at.UTC().String()+"/up"], int64(3*len(frame)); got != want {
+		t.Errorf("minute 10:00 row = %d bytes, want %d (whole minute in one row)", got, want)
+	}
+}
+
+// TestThroughputCompleteMinutesExportedPromptly pins the fix's other
+// half: a flush must still export every minute that IS complete, and a
+// power-off exports everything including the in-progress minute.
+func TestThroughputCompleteMinutesExportedPromptly(t *testing.T) {
+	f := newFixture(t, true)
+	f.agent.PowerOn(f.sched)
+
+	bld := packet.NewBuilder(mac.MustParse("00:1c:b3:aa:bb:cc"), mac.MustParse("00:18:f8:01:02:03"))
+	frame := bld.UDPv4(netip.MustParseAddr("192.168.1.23"), netip.MustParseAddr("203.0.113.7"),
+		40001, 443, 64, make([]byte, 200))
+
+	at := t0.Add(11 * time.Hour)
+	f.agent.HandleFrame(frame, true, at)                     // minute 0, complete at the flush below
+	f.agent.HandleFrame(frame, true, at.Add(2*time.Minute))  // minute 2, in progress at the flush
+	f.agent.flushTraffic(at.Add(2*time.Minute + 30*time.Second))
+	if n := len(f.sink.samples); n != 1 {
+		t.Fatalf("after mid-minute flush: %d samples, want 1 (only the complete minute)", n)
+	}
+	if !f.sink.samples[0].Minute.Equal(at) {
+		t.Fatalf("flushed minute %v, want %v", f.sink.samples[0].Minute, at)
+	}
+	f.agent.PowerOff(at.Add(2*time.Minute + 40*time.Second))
+	if n := len(f.sink.samples); n != 2 {
+		t.Fatalf("after power-off: %d samples, want 2 (in-progress minute flushed)", n)
+	}
+}

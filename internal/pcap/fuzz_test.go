@@ -1,0 +1,91 @@
+package pcap
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzReader fuzzes the capture-file parser. Properties:
+//
+//  1. NewReader/ReadAll never panic and never allocate unboundedly from
+//     a crafted capture length.
+//  2. Writer∘Reader is the identity on whatever the reader accepted:
+//     re-writing the parsed packets with a non-truncating snap length
+//     and re-reading yields the same data, original lengths, and (when
+//     the timestamp fits the 32-bit epoch-seconds field) timestamps.
+func FuzzReader(f *testing.F) {
+	// A well-formed one-packet file built by this package's own writer.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	at := time.Date(2013, 4, 1, 0, 0, 0, 123000, time.UTC)
+	if err := w.WritePacket(Packet{At: at, Data: []byte("\xde\xad\xbe\xef"), OrigLen: 60}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	// A header truncated mid-field.
+	f.Add(buf.Bytes()[:10])
+	// Big-endian magic with no packets.
+	f.Add([]byte("\xa1\xb2\xc3\xd4\x00\x02\x00\x04\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\xff\xff\x00\x00\x00\x01"))
+	// A packet header promising more body than the file holds.
+	f.Add(append(append([]byte{}, buf.Bytes()[:24]...),
+		"\x80\xfa\x58\x51\x00\x00\x00\x00\xff\xff\x00\x00\xff\xff\x00\x00"...))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r, err := NewReader(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		pkts, err := r.ReadAll()
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		// 1<<26 is the reader's own cap, so no accepted packet is ever
+		// truncated on the re-write.
+		w, err := NewWriter(&out, 1<<26)
+		if err != nil {
+			t.Fatalf("rewrite header: %v", err)
+		}
+		for _, p := range pkts {
+			if err := w.WritePacket(p); err != nil {
+				t.Fatalf("rewrite packet: %v", err)
+			}
+		}
+		r2, err := NewReader(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("reread header: %v", err)
+		}
+		pkts2, err := r2.ReadAll()
+		if err != nil {
+			t.Fatalf("reread packets: %v", err)
+		}
+		if len(pkts2) != len(pkts) {
+			t.Fatalf("round trip: %d packets became %d", len(pkts), len(pkts2))
+		}
+		for i := range pkts {
+			if !bytes.Equal(pkts[i].Data, pkts2[i].Data) {
+				t.Fatalf("packet %d: data changed", i)
+			}
+			wantOrig := pkts[i].OrigLen
+			if wantOrig < len(pkts[i].Data) {
+				wantOrig = len(pkts[i].Data) // writer's documented clamp
+			}
+			if pkts2[i].OrigLen != wantOrig {
+				t.Fatalf("packet %d: OrigLen %d, want %d", i, pkts2[i].OrigLen, wantOrig)
+			}
+			// Timestamps survive exactly when they fit the format's
+			// unsigned 32-bit seconds field (parsed ones always have
+			// sub-second < 1s, so only overflow can differ).
+			if s := pkts[i].At.Unix(); s >= 0 && s <= math.MaxUint32 {
+				if !pkts2[i].At.Equal(pkts[i].At) {
+					t.Fatalf("packet %d: At %v became %v", i, pkts[i].At, pkts2[i].At)
+				}
+			}
+		}
+	})
+}

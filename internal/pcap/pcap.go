@@ -135,8 +135,8 @@ func (pr *Reader) ReadPacket() (Packet, error) {
 	if capLen > 1<<26 {
 		return Packet{}, fmt.Errorf("pcap: absurd capture length %d", capLen)
 	}
-	data := make([]byte, capLen)
-	if _, err := io.ReadFull(pr.r, data); err != nil {
+	data, err := readExact(pr.r, int(capLen))
+	if err != nil {
 		return Packet{}, fmt.Errorf("%w: packet body", ErrTruncated)
 	}
 	return Packet{
@@ -144,6 +144,30 @@ func (pr *Reader) ReadPacket() (Packet, error) {
 		Data:    data,
 		OrigLen: int(origLen),
 	}, nil
+}
+
+// readExact reads exactly n bytes, growing the buffer chunk by chunk so
+// a crafted record header cannot force a large allocation before any
+// body bytes have actually arrived.
+func readExact(r io.Reader, n int) ([]byte, error) {
+	const chunk = 64 << 10
+	c := n
+	if c > chunk {
+		c = chunk
+	}
+	buf := make([]byte, 0, c)
+	for len(buf) < n {
+		m := n - len(buf)
+		if m > chunk {
+			m = chunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, m)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
 }
 
 // ReadAll drains the stream.

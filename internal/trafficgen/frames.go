@@ -37,11 +37,32 @@ type FrameOpts struct {
 	MTU int
 }
 
+// FlowFrames is a rendered flow, with the rng-drawn connection identity
+// exposed so callers (the verify harness) can predict the exact flow
+// keys the capture pipeline will build from these frames.
+type FlowFrames struct {
+	// DNS is the lookup exchange: a UDP flow device:DPort → resolver:53.
+	DNS []Frame
+	// TCP is the handshake, data, and FIN: device:SPort → Remote:443.
+	TCP []Frame
+	// Remote is the server address the flow talks to.
+	Remote netip.Addr
+	// SPort is the TCP client port, DPort the DNS client port.
+	SPort, DPort uint16
+}
+
 // FramesForFlow renders a FlowSpec as a realistic frame sequence: a DNS
 // lookup + response (so the capture's sniffer learns the IP→domain
 // binding), a TCP handshake, data packets in both directions, and a FIN.
 // It is used where the real capture path must be exercised end to end.
 func FramesForFlow(f FlowSpec, opts FrameOpts, rnd *rng.Stream) []Frame {
+	ff := RenderFlow(f, opts, rnd)
+	return append(ff.DNS, ff.TCP...)
+}
+
+// RenderFlow is FramesForFlow with the frames split by flow and the
+// connection identity (remote address, ports) returned alongside.
+func RenderFlow(f FlowSpec, opts FrameOpts, rnd *rng.Stream) FlowFrames {
 	if opts.MaxDataPackets <= 0 {
 		opts.MaxDataPackets = 40
 	}
@@ -59,26 +80,28 @@ func FramesForFlow(f FlowSpec, opts FrameOpts, rnd *rng.Stream) []Frame {
 	gw := opts.GatewayMAC
 	devIP := opts.DeviceIP
 
-	var out []Frame
+	ff := FlowFrames{Remote: remote}
 	at := f.Start
 	bldUp := packet.NewBuilder(devHW, gw)
 	bldDown := packet.NewBuilder(gw, devHW)
 
 	// DNS query + response.
 	qid := uint16(rnd.Uint64())
-	dport := uint16(30000 + rnd.Intn(20000))
+	ff.DPort = uint16(30000 + rnd.Intn(20000))
 	q := dns.NewQuery(qid, f.Domain, dns.TypeA)
-	out = append(out, Frame{bldUp.UDPv4(devIP, opts.ResolverIP, dport, 53, 64, q.Marshal()), true, at})
+	ff.DNS = append(ff.DNS, Frame{bldUp.UDPv4(devIP, opts.ResolverIP, ff.DPort, 53, 64, q.Marshal()), true, at})
 	resp := dns.NewQuery(qid, f.Domain, dns.TypeA).Answer(dns.RR{
 		Name: f.Domain, Type: dns.TypeA, Class: dns.ClassIN, TTL: 300, Addr: remote,
 	})
 	at = at.Add(30 * time.Millisecond)
-	out = append(out, Frame{bldDown.UDPv4(opts.ResolverIP, devIP, 53, dport, 60, resp.Marshal()), false, at})
+	ff.DNS = append(ff.DNS, Frame{bldDown.UDPv4(opts.ResolverIP, devIP, 53, ff.DPort, 60, resp.Marshal()), false, at})
 
 	// TCP handshake.
-	sport := uint16(40000 + rnd.Intn(20000))
+	ff.SPort = uint16(40000 + rnd.Intn(20000))
+	sport := ff.SPort
 	seq := uint32(rnd.Uint64())
 	at = at.Add(10 * time.Millisecond)
+	var out []Frame
 	out = append(out, Frame{bldUp.TCPv4(devIP, remote, packet.TCP{
 		SrcPort: sport, DstPort: 443, Seq: seq, Flags: packet.FlagSYN, Window: 65535}, 64, nil), true, at})
 	at = at.Add(20 * time.Millisecond)
@@ -121,7 +144,8 @@ func FramesForFlow(f FlowSpec, opts FrameOpts, rnd *rng.Stream) []Frame {
 	// FIN.
 	out = append(out, Frame{bldUp.TCPv4(devIP, remote, packet.TCP{
 		SrcPort: sport, DstPort: 443, Flags: packet.FlagFIN | packet.FlagACK, Window: 65535}, 64, nil), true, f.End})
-	return out
+	ff.TCP = out
+	return ff
 }
 
 // deriveRemoteIP maps a domain to a stable pseudo server address in

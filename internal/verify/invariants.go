@@ -1,0 +1,223 @@
+package verify
+
+import (
+	"fmt"
+	"time"
+)
+
+// Failure is one violated invariant.
+type Failure struct {
+	Name   string
+	Detail string
+}
+
+func (f Failure) String() string { return f.Name + ": " + f.Detail }
+
+// Invariant is one named conservation law or schema property checked
+// against a completed run. Check returns one detail string per
+// violation (nil when the invariant holds).
+type Invariant struct {
+	Name string
+	// Tolerance is the permitted absolute slack for count/byte
+	// comparisons. The standard set runs at zero: power-off finishes
+	// every in-flight flow, so nothing is legitimately in transit when
+	// the run ends. A harness that flushes mid-flight can relax this.
+	Tolerance int64
+	Check     func(r *Result, tol int64) []string
+}
+
+// CheckAll evaluates invs (or the standard set when nil) against r.
+func CheckAll(r *Result, invs []Invariant) []Failure {
+	if invs == nil {
+		invs = Invariants()
+	}
+	var out []Failure
+	for _, inv := range invs {
+		for _, d := range inv.Check(r, inv.Tolerance) {
+			out = append(out, Failure{Name: inv.Name, Detail: d})
+		}
+	}
+	return out
+}
+
+// eq3 checks a three-layer conservation chain generated == exported ==
+// ingested within tol.
+func eq3(what string, gen, exported, ingested, tol int64) []string {
+	var out []string
+	if d := gen - exported; d > tol || d < -tol {
+		out = append(out, fmt.Sprintf("%s: generated %d, gateway exported %d", what, gen, exported))
+	}
+	if d := exported - ingested; d > tol || d < -tol {
+		out = append(out, fmt.Sprintf("%s: gateway exported %d, collector ingested %d", what, exported, ingested))
+	}
+	return out
+}
+
+// Invariants returns the standard cross-layer invariant set.
+func Invariants() []Invariant {
+	return []Invariant{
+		{Name: "conservation/heartbeats", Check: func(r *Result, tol int64) []string {
+			var ingested int64
+			for _, id := range r.Ingested.Heartbeats.Routers() {
+				ingested += int64(r.Ingested.Heartbeats.Count(id))
+			}
+			gen := r.World.Acct.HeartbeatBeats
+			if d := gen - ingested; d > tol || d < -tol {
+				return []string{fmt.Sprintf("beats: generated %d, ingested %d", gen, ingested)}
+			}
+			return nil
+		}},
+		{Name: "conservation/uptime", Check: func(r *Result, tol int64) []string {
+			return eq3("reports", r.World.Acct.UptimeReports,
+				r.World.Acct.Export.UptimeReports, int64(len(r.Ingested.Uptime)), tol)
+		}},
+		{Name: "conservation/capacity", Check: func(r *Result, tol int64) []string {
+			// Capacity probes run in the world (ShaperProbe over the
+			// simulated link), not in the agent, so the chain here is
+			// two layers: generated == ingested.
+			gen, ing := r.World.Acct.CapacityMeasures, int64(len(r.Ingested.Capacity))
+			if d := gen - ing; d > tol || d < -tol {
+				return []string{fmt.Sprintf("measures: generated %d, ingested %d", gen, ing)}
+			}
+			return nil
+		}},
+		{Name: "conservation/census", Check: func(r *Result, tol int64) []string {
+			exp := r.World.Acct.Export.DeviceCensusRows
+			ing := int64(len(r.Ingested.Counts) + len(r.Ingested.Sightings))
+			if d := exp - ing; d > tol || d < -tol {
+				return []string{fmt.Sprintf("rows: exported %d, ingested %d", exp, ing)}
+			}
+			return nil
+		}},
+		{Name: "conservation/wifi", Check: func(r *Result, tol int64) []string {
+			exp, ing := r.World.Acct.Export.WiFiScanRows, int64(len(r.Ingested.WiFi))
+			if d := exp - ing; d > tol || d < -tol {
+				return []string{fmt.Sprintf("rows: exported %d, ingested %d", exp, ing)}
+			}
+			return nil
+		}},
+		{Name: "conservation/flow-records", Check: func(r *Result, tol int64) []string {
+			return eq3("records", r.World.Acct.ExpectedFlowRecords,
+				r.World.Acct.Export.FlowRecords, int64(len(r.Ingested.Flows)), tol)
+		}},
+		{Name: "conservation/flow-bytes", Check: func(r *Result, tol int64) []string {
+			var ingUp, ingDown int64
+			for _, f := range r.Ingested.Flows {
+				ingUp += f.UpBytes
+				ingDown += f.DownBytes
+			}
+			a := r.World.Acct
+			return append(
+				eq3("up bytes", a.FrameUpBytes, a.Export.FlowUpBytes, ingUp, tol),
+				eq3("down bytes", a.FrameDownBytes, a.Export.FlowDownBytes, ingDown, tol)...)
+		}},
+		{Name: "conservation/flow-packets", Check: func(r *Result, tol int64) []string {
+			var ing int64
+			for _, f := range r.Ingested.Flows {
+				ing += f.UpPkts + f.DownPkts
+			}
+			a := r.World.Acct
+			return eq3("packets", a.Frames, a.Export.FlowUpPkts+a.Export.FlowDownPkts, ing, tol)
+		}},
+		{Name: "conservation/throughput-bytes", Check: func(r *Result, tol int64) []string {
+			var ingUp, ingDown int64
+			for _, s := range r.Ingested.Throughput {
+				switch s.Dir {
+				case "up":
+					ingUp += s.TotalBytes
+				case "down":
+					ingDown += s.TotalBytes
+				}
+			}
+			a := r.World.Acct
+			return append(
+				eq3("up bytes", a.FrameUpBytes, a.Export.ThroughputUpBytes, ingUp, tol),
+				eq3("down bytes", a.FrameDownBytes, a.Export.ThroughputDownBytes, ingDown, tol)...)
+		}},
+		{Name: "conservation/throughput-rows", Check: func(r *Result, tol int64) []string {
+			exp, ing := r.World.Acct.Export.ThroughputRows, int64(len(r.Ingested.Throughput))
+			if d := exp - ing; d > tol || d < -tol {
+				return []string{fmt.Sprintf("rows: exported %d, ingested %d", exp, ing)}
+			}
+			return nil
+		}},
+		{Name: "conservation/dns", Check: func(r *Result, tol int64) []string {
+			// Every distinct remote answered over DNS must be learned by
+			// the capture's sniffer (valid while each home stays under
+			// the sniffer cache's limit, which these worlds do).
+			gen, got := r.World.Acct.DNSDistinctRemotes, r.World.Acct.DNSCacheEntries
+			if d := gen - got; d > tol || d < -tol {
+				return []string{fmt.Sprintf("remotes: answered %d, sniffer learned %d", gen, got)}
+			}
+			return nil
+		}},
+		{Name: "schema/privacy", Check: func(r *Result, _ int64) []string {
+			return r.PrivacyViolations
+		}},
+		{Name: "schema/anonymized-devices", Check: func(r *Result, _ int64) []string {
+			real := make(map[string]bool)
+			for _, h := range r.World.Homes {
+				for _, d := range h.Profile.Devices {
+					real[d.HW.String()] = true
+				}
+			}
+			var out []string
+			for _, f := range r.Ingested.Flows {
+				if real[f.Device.String()] {
+					out = append(out, fmt.Sprintf("flow for %s carries a real device MAC", f.RouterID))
+				}
+			}
+			for _, sg := range r.Ingested.Sightings {
+				if real[sg.Device.String()] {
+					out = append(out, fmt.Sprintf("sighting for %s carries a real device MAC", sg.RouterID))
+				}
+			}
+			return out
+		}},
+		{Name: "schema/throughput-dedupe", Check: func(r *Result, _ int64) []string {
+			seen := make(map[string]bool, len(r.Ingested.Throughput))
+			var out []string
+			for _, s := range r.Ingested.Throughput {
+				k := s.RouterID + "|" + s.Minute.UTC().Format(time.RFC3339) + "|" + s.Dir
+				if seen[k] {
+					out = append(out, "duplicate (router, minute, dir) row: "+k)
+				}
+				seen[k] = true
+				if !s.Minute.Equal(s.Minute.Truncate(time.Minute)) {
+					out = append(out, "minute not aligned: "+k)
+				}
+			}
+			return out
+		}},
+		{Name: "schema/uptime-dedupe", Check: func(r *Result, _ int64) []string {
+			seen := make(map[string]bool, len(r.Ingested.Uptime))
+			var out []string
+			for _, u := range r.Ingested.Uptime {
+				k := u.RouterID + "|" + u.ReportedAt.UTC().Format(time.RFC3339)
+				if seen[k] {
+					out = append(out, "duplicate (router, reportedAt) row: "+k)
+				}
+				seen[k] = true
+			}
+			return out
+		}},
+		{Name: "schema/flow-times", Check: func(r *Result, _ int64) []string {
+			// Flows must start inside the Traffic window and be
+			// internally ordered. Their tails may legitimately outlive
+			// the window: a transfer begun at 23:58 of the last day
+			// keeps flowing past midnight, and the capture reports its
+			// true Last.
+			from, to := r.World.Cfg.TrafficFrom, r.World.Cfg.TrafficTo
+			var out []string
+			for _, f := range r.Ingested.Flows {
+				if f.Last.Before(f.First) {
+					out = append(out, fmt.Sprintf("flow for %s: Last %v before First %v", f.RouterID, f.Last, f.First))
+				}
+				if f.First.Before(from) || !f.First.Before(to) {
+					out = append(out, fmt.Sprintf("flow for %s: First %v outside the Traffic window", f.RouterID, f.First))
+				}
+			}
+			return out
+		}},
+	}
+}

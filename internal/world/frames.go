@@ -1,0 +1,136 @@
+package world
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"natpeek/internal/clock"
+	"natpeek/internal/eventsim"
+	"natpeek/internal/gateway"
+	"natpeek/internal/household"
+	"natpeek/internal/mac"
+	"natpeek/internal/packet"
+	"natpeek/internal/trafficgen"
+)
+
+// flowTimeout mirrors capture.Config's default idle expiry. The oracle
+// below simulates the monitor's flow table, so the two must agree on
+// when an idle flow finishes.
+const flowTimeout = 5 * time.Minute
+
+// liveKey identifies one capture flow pre-anonymization. The monitor
+// keys flows on (anonymized device, proto, anonymized remote, remote
+// port, local port); anonymization is injective, so distinctness — all
+// the oracle needs — is preserved by the raw identifiers.
+type liveKey struct {
+	dev    mac.Addr
+	proto  packet.IPProto
+	remote netip.Addr
+	rPort  uint16
+	lPort  uint16
+}
+
+type frameEvt struct {
+	fr  trafficgen.Frame
+	key liveKey
+}
+
+// emitTrafficFrames generates the Traffic data set by rendering each
+// statistical flow into raw Ethernet frames and feeding them to the
+// agent's passive monitor — the same path a live router's capture
+// takes: DNS sniffing, anonymization, flow accounting, idle expiry,
+// per-minute throughput, and the periodic/final export split.
+//
+// While feeding, it runs a shadow flow table with the same idle-expiry
+// rule as the monitor, so Acct.ExpectedFlowRecords predicts the exact
+// number of flow records the agent must export. Any divergence —
+// a dropped frame, a flow split or merged wrongly, an export lost —
+// breaks the conservation invariants.
+func (w *World) emitTrafficFrames(p *household.Profile, agent *gateway.Agent) {
+	gen := trafficgen.New(p)
+	online := p.OnlineIntervals(w.Cfg.TrafficFrom, w.Cfg.TrafficTo)
+	frnd := p.Rand().Child("frames")
+
+	gwMAC := mac.FromOUI(0x0018F8, uint32(p.Rand().Child("gw-mac").Uint64()&0xffffff))
+	devIPs := make(map[mac.Addr]netip.Addr, len(p.Devices))
+	for i, d := range p.Devices {
+		devIPs[d.HW] = netip.AddrFrom4([4]byte{192, 168, 1, byte(10 + i%240)})
+	}
+	resolver := netip.MustParseAddr("8.8.8.8")
+
+	// Render every flow of the window into time-stamped frames, each
+	// annotated with the capture flow it belongs to.
+	var evts []frameEvt
+	remotes := make(map[netip.Addr]bool)
+	for day := w.Cfg.TrafficFrom; day.Before(w.Cfg.TrafficTo); day = day.Add(24 * time.Hour) {
+		dt := gen.GenerateDay(day, online)
+		for _, f := range dt.Flows {
+			ff := trafficgen.RenderFlow(f, trafficgen.FrameOpts{
+				GatewayMAC: gwMAC,
+				DeviceIP:   devIPs[f.Device.HW],
+				ResolverIP: resolver,
+			}, frnd)
+			remotes[ff.Remote] = true
+			dnsKey := liveKey{f.Device.HW, packet.ProtoUDP, resolver, 53, ff.DPort}
+			tcpKey := liveKey{f.Device.HW, packet.ProtoTCP, ff.Remote, 443, ff.SPort}
+			for _, fr := range ff.DNS {
+				evts = append(evts, frameEvt{fr, dnsKey})
+			}
+			for _, fr := range ff.TCP {
+				evts = append(evts, frameEvt{fr, tcpKey})
+			}
+		}
+	}
+	sort.SliceStable(evts, func(i, j int) bool { return evts[i].fr.At.Before(evts[j].fr.At) })
+
+	// Flush schedule: one deliberately minute-unaligned flush mid-day
+	// (periodic report tasks are jittered, so real flushes land
+	// mid-minute — this is what caught the partial-minute double
+	// export), plus one at each day boundary.
+	var flushes []time.Time
+	for day := w.Cfg.TrafficFrom; day.Before(w.Cfg.TrafficTo); day = day.Add(24 * time.Hour) {
+		flushes = append(flushes, day.Add(12*time.Hour+30*time.Second), day.Add(24*time.Hour))
+	}
+
+	clk := clock.NewSim(w.Cfg.TrafficFrom)
+	sched := eventsim.New(clk, p.Rand().Child("frame-sched"))
+	agent.PowerOn(sched)
+
+	live := make(map[liveKey]time.Time)
+	var expected int64
+	flushAt := func(t time.Time) {
+		agent.FlushTrafficNow(t)
+		for k, last := range live {
+			if t.Sub(last) >= flowTimeout {
+				delete(live, k)
+				expected++
+			}
+		}
+	}
+
+	fi := 0
+	for _, e := range evts {
+		for fi < len(flushes) && !flushes[fi].After(e.fr.At) {
+			flushAt(flushes[fi])
+			fi++
+		}
+		agent.HandleFrame(e.fr.Raw, e.fr.Up, e.fr.At)
+		live[e.key] = e.fr.At
+		w.Acct.Frames++
+		if e.fr.Up {
+			w.Acct.FrameUpBytes += int64(len(e.fr.Raw))
+		} else {
+			w.Acct.FrameDownBytes += int64(len(e.fr.Raw))
+		}
+	}
+	for ; fi < len(flushes); fi++ {
+		flushAt(flushes[fi])
+	}
+	// Power-off finishes every live flow, so nothing stays in flight.
+	expected += int64(len(live))
+	agent.PowerOff(w.Cfg.TrafficTo)
+
+	w.Acct.ExpectedFlowRecords += expected
+	w.Acct.DNSDistinctRemotes += int64(len(remotes))
+}

@@ -56,6 +56,24 @@ type Config struct {
 	// consent to Traffic collection.
 	GlobalTraffic bool
 
+	// Countries, when non-empty, restricts the deployment to these
+	// country codes. The verify harness uses it to build small worlds
+	// without dragging in one router from each of the 19 countries.
+	Countries []string
+
+	// RoutersPerCountry, when positive, fixes the router count per
+	// country instead of scaling the Table 1 roster.
+	RoutersPerCountry int
+
+	// FrameTraffic routes the Traffic data set of consenting homes
+	// through the real capture pipeline: flows are rendered to raw
+	// Ethernet frames (DNS lookup, TCP handshake, data, FIN) and fed to
+	// the agent's passive monitor, which rebuilds flow records and
+	// throughput from the wire. Slower than the statistical fast path;
+	// the verify harness uses it because it exercises — and byte-accounts
+	// — the same code a live router runs.
+	FrameTraffic bool
+
 	// Windows; zero values default to the Table 2 windows.
 	HeartbeatsFrom, HeartbeatsTo time.Time
 	UptimeFrom, UptimeTo         time.Time
@@ -100,11 +118,39 @@ type Home struct {
 	Consent bool
 }
 
+// Accounting tallies what the world generated, alongside what its
+// agents exported — the "what went in" side of the verify harness's
+// conservation invariants (the collector's store is "what came out").
+type Accounting struct {
+	Homes            int64
+	HeartbeatBeats   int64 // minute beats generated from availability models
+	UptimeReports    int64 // 12-hourly reports scheduled while powered
+	CapacityMeasures int64 // ShaperProbe runs executed by the world
+
+	// Statistical fast-path traffic (FrameTraffic off).
+	GenFlows    int64
+	GenUpBytes  int64
+	GenDownBytes int64
+
+	// Frame-mode traffic (FrameTraffic on): raw frames fed to monitors,
+	// and the oracle's expectations for what capture must rebuild.
+	Frames              int64
+	FrameUpBytes        int64
+	FrameDownBytes      int64
+	ExpectedFlowRecords int64 // flow-expiry simulation, must equal exported records
+	DNSDistinctRemotes  int64 // distinct server addrs answered over DNS
+	DNSCacheEntries     int64 // what the monitors' sniffers actually learned
+
+	// Export is the merged gateway-side accounting across all agents.
+	Export gateway.ExportStats
+}
+
 // World is a built deployment.
 type World struct {
 	Cfg   Config
 	Homes []*Home
 	Store *dataset.Store
+	Acct  Accounting
 
 	root *rng.Stream
 }
@@ -114,8 +160,18 @@ func Build(cfg Config) *World {
 	cfg.fill()
 	w := &World{Cfg: cfg, Store: dataset.NewStore(), root: rng.New(cfg.Seed)}
 	consentLeft := cfg.TrafficHomes
+	keep := make(map[string]bool, len(cfg.Countries))
+	for _, cc := range cfg.Countries {
+		keep[cc] = true
+	}
 	for _, c := range geo.All() {
-		n := int(math.Round(float64(c.Routers) * cfg.Scale))
+		if len(keep) > 0 && !keep[c.Code] {
+			continue
+		}
+		n := cfg.RoutersPerCountry
+		if n <= 0 {
+			n = int(math.Round(float64(c.Routers) * cfg.Scale))
+		}
 		if n < 1 {
 			n = 1
 		}
@@ -152,18 +208,52 @@ func Build(cfg Config) *World {
 // natpeek_sim_homes_done_total counts finished homes against the
 // natpeek_sim_homes gauge, and the eventsim counters track task firings
 // and simulated time inside the current home.
-func (w *World) Run() error {
+func (w *World) Run() error { return w.RunWith(nil) }
+
+// RunWith runs the deployment with a caller-chosen sink per home.
+// sinkFor returns the sink for one home plus an optional close func
+// invoked after that home's windows finish (flush + teardown); a nil
+// sinkFor (or a nil returned sink) falls back to writing the world's
+// own Store directly. The verify harness passes collector clients here,
+// so every row travels the agent→spool→HTTP→collector path instead.
+func (w *World) RunWith(sinkFor func(h *Home) (gateway.Sink, func() error, error)) error {
 	done := telemetry.Default.Counter("natpeek_sim_homes_done_total",
 		"Homes whose full collection windows have been simulated.")
 	telemetry.Default.Gauge("natpeek_sim_homes",
 		"Homes in the deployment being simulated.").Set(float64(len(w.Homes)))
 	for _, h := range w.Homes {
-		if err := w.runHome(h); err != nil {
+		sink := gateway.Sink(nil)
+		var closeSink func() error
+		if sinkFor != nil {
+			s, cl, err := sinkFor(h)
+			if err != nil {
+				return fmt.Errorf("world: %s: sink: %w", h.Profile.ID, err)
+			}
+			sink, closeSink = s, cl
+		}
+		if sink == nil {
+			sink = &storeSink{w.Store}
+		}
+		err := w.runHome(h, sink)
+		if closeSink != nil {
+			if cerr := closeSink(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
 			return fmt.Errorf("world: %s: %w", h.Profile.ID, err)
 		}
 		done.Inc()
 	}
 	return nil
+}
+
+// HeartbeatRunSink is an optional sink capability: accept a whole
+// run-length-encoded heartbeat run in one call. Sinks without it get
+// one Heartbeat call per minute beat, which is equivalent but slow for
+// month-long windows.
+type HeartbeatRunSink interface {
+	HeartbeatRun(id string, r heartbeat.Run)
 }
 
 // storeSink adapts the dataset store to gateway.Sink.
@@ -188,26 +278,36 @@ func (s *storeSink) TrafficThroughput(ts []dataset.ThroughputSample) {
 	s.st.Throughput = append(s.st.Throughput, ts...)
 }
 
-func (w *World) runHome(h *Home) error {
+func (s *storeSink) HeartbeatRun(id string, r heartbeat.Run) { s.st.Heartbeats.RecordRun(id, r) }
+
+func (w *World) runHome(h *Home, sink gateway.Sink) error {
 	p := h.Profile
 
 	// Agent wired to simulated radios; its anonymization policy is the
 	// one used for every exported identifier of this study period.
 	env := w.buildEnv(p)
 	agent := gateway.New(gateway.Config{
-		ID:        p.ID,
-		LANPrefix: netip.MustParsePrefix("192.168.1.0/24"),
-		AnonKey:   []byte("natpeek-study-2013"),
-	}, &storeSink{w.Store}, env)
+		ID:             p.ID,
+		LANPrefix:      netip.MustParsePrefix("192.168.1.0/24"),
+		AnonKey:        []byte("natpeek-study-2013"),
+		TrafficConsent: h.Consent,
+	}, sink, env)
 
-	w.emitHeartbeats(p)
+	w.emitHeartbeats(p, sink)
 	w.emitUptime(p, agent)
 	w.emitDeviceCensus(p, agent, env)
 	w.emitWiFiScans(p, agent, env)
-	w.emitCapacity(p)
+	w.emitCapacity(p, sink)
 	if h.Consent {
-		w.emitTraffic(p, agent)
+		if w.Cfg.FrameTraffic {
+			w.emitTrafficFrames(p, agent)
+		} else {
+			w.emitTraffic(p, agent, sink)
+		}
 	}
+	w.Acct.Homes++
+	w.Acct.DNSCacheEntries += int64(agent.Monitor().DNSCacheLen())
+	w.Acct.Export.Add(agent.ExportStats())
 	return nil
 }
 
@@ -236,16 +336,23 @@ func (w *World) buildEnv(p *household.Profile) *gateway.Env {
 
 // emitHeartbeats converts the home's online intervals into minute-cadence
 // heartbeat runs.
-func (w *World) emitHeartbeats(p *household.Profile) {
+func (w *World) emitHeartbeats(p *household.Profile, sink gateway.Sink) {
 	online := p.OnlineIntervals(w.Cfg.HeartbeatsFrom, w.Cfg.HeartbeatsTo)
+	hrs, _ := sink.(HeartbeatRunSink)
 	for _, iv := range online {
 		n := int(iv.Duration() / heartbeat.Interval)
 		if n < 1 {
 			n = 1
 		}
-		w.Store.Heartbeats.RecordRun(p.ID, heartbeat.Run{
-			Start: iv.Start, Interval: heartbeat.Interval, Count: n,
-		})
+		run := heartbeat.Run{Start: iv.Start, Interval: heartbeat.Interval, Count: n}
+		if hrs != nil {
+			hrs.HeartbeatRun(p.ID, run)
+		} else {
+			for i := 0; i < n; i++ {
+				sink.Heartbeat(p.ID, run.Start.Add(time.Duration(i)*run.Interval))
+			}
+		}
+		w.Acct.HeartbeatBeats += int64(n)
 	}
 }
 
@@ -261,6 +368,7 @@ func (w *World) emitUptime(p *household.Profile, agent *gateway.Agent) {
 		for _, iv := range power {
 			if iv.Contains(t) {
 				agent.ReportUptimeNow(t, iv.Start)
+				w.Acct.UptimeReports++
 				break
 			}
 		}
@@ -328,7 +436,7 @@ func (w *World) emitWiFiScans(p *household.Profile, agent *gateway.Agent, env *g
 
 // emitCapacity runs real ShaperProbe trains through the home's simulated
 // access link every twelve hours of the Capacity window.
-func (w *World) emitCapacity(p *household.Profile) {
+func (w *World) emitCapacity(p *household.Profile, sink gateway.Sink) {
 	online := p.OnlineIntervals(w.Cfg.CapacityFrom, w.Cfg.CapacityTo)
 	cfg := shaperprobe.Config{TrainLength: w.Cfg.ProbeTrainLength}
 	for t := w.Cfg.CapacityFrom; t.Before(w.Cfg.CapacityTo); t = t.Add(12 * time.Hour) {
@@ -354,26 +462,28 @@ func (w *World) emitCapacity(p *household.Profile) {
 		)
 		up := shaperprobe.ProbeSync(clk, link.Up, cfg)
 		down := shaperprobe.ProbeSync(clk, link.Down, cfg)
-		w.Store.Capacity = append(w.Store.Capacity, dataset.CapacityMeasure{
+		sink.CapacityMeasure(dataset.CapacityMeasure{
 			RouterID:   p.ID,
 			MeasuredAt: t,
 			UpBps:      up.SustainedBps,
 			DownBps:    down.SustainedBps,
 		})
+		w.Acct.CapacityMeasures++
 	}
 }
 
 // emitTraffic generates the Traffic data set for one consenting home,
 // anonymizing identities with the agent's policy — the same transform
 // the live capture applies.
-func (w *World) emitTraffic(p *household.Profile, agent *gateway.Agent) {
+func (w *World) emitTraffic(p *household.Profile, agent *gateway.Agent, sink gateway.Sink) {
 	anon := agent.Anonymizer()
 	gen := trafficgen.New(p)
 	online := p.OnlineIntervals(w.Cfg.TrafficFrom, w.Cfg.TrafficTo)
 	for day := w.Cfg.TrafficFrom; day.Before(w.Cfg.TrafficTo); day = day.Add(24 * time.Hour) {
 		dt := gen.GenerateDay(day, online)
+		recs := make([]dataset.FlowRecord, 0, len(dt.Flows))
 		for _, f := range dt.Flows {
-			w.Store.Flows = append(w.Store.Flows, dataset.FlowRecord{
+			recs = append(recs, dataset.FlowRecord{
 				RouterID:  p.ID,
 				Device:    anon.MAC(f.Device.HW),
 				Domain:    anon.Domain(f.Domain),
@@ -386,20 +496,30 @@ func (w *World) emitTraffic(p *household.Profile, agent *gateway.Agent) {
 				DownPkts:  f.DownBytes/1400 + 1,
 				Conns:     int64(f.Conns),
 			})
+			w.Acct.GenFlows++
+			w.Acct.GenUpBytes += f.UpBytes
+			w.Acct.GenDownBytes += f.DownBytes
 		}
+		if len(recs) > 0 {
+			sink.TrafficFlows(recs)
+		}
+		var samples []dataset.ThroughputSample
 		for _, m := range dt.Minutes {
 			if m.UpBytes > 0 {
-				w.Store.Throughput = append(w.Store.Throughput, dataset.ThroughputSample{
+				samples = append(samples, dataset.ThroughputSample{
 					RouterID: p.ID, Minute: m.Minute, Dir: "up",
 					PeakBps: m.UpPeakBps, TotalBytes: m.UpBytes,
 				})
 			}
 			if m.DownBytes > 0 {
-				w.Store.Throughput = append(w.Store.Throughput, dataset.ThroughputSample{
+				samples = append(samples, dataset.ThroughputSample{
 					RouterID: p.ID, Minute: m.Minute, Dir: "down",
 					PeakBps: m.DownPeakBps, TotalBytes: m.DownBytes,
 				})
 			}
+		}
+		if len(samples) > 0 {
+			sink.TrafficThroughput(samples)
 		}
 	}
 }
