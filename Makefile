@@ -1,18 +1,23 @@
 # Tier-1 verification plus the race/bench targets the telemetry PR added.
 #
-#   make check        # vet + build + tests with -race + the verify gate
+#   make check        # vet + build + tests with -race + verify + load gates
 #   make check-verify # golden runs, conservation invariants, parser fuzzing
-#   make bench        # full reproduction driver (tables/figures + ablations)
+#   make check-load   # sharded-store stress + admission + loadgen soaks, -race
+#   make bench        # regression benchmark suite -> BENCH_5.json
+#   make bench-paper  # full reproduction driver (tables/figures + ablations)
 
 GO ?= go
 
 # Per-target budget for the short fuzz shake-out in check-verify.
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench bench-telemetry check-reliability \
-	check-verify fuzz-seeds
+# Fixed per-benchmark budget so BENCH_*.json files are comparable run to run.
+BENCHTIME ?= 300ms
 
-check: vet build race check-verify
+.PHONY: check vet build test race bench bench-paper bench-telemetry \
+	check-reliability check-verify check-load fuzz-seeds
+
+check: vet build race check-verify check-load
 
 vet:
 	$(GO) vet ./...
@@ -26,7 +31,22 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The scale-regression suite. Fixed -benchtime keeps runs comparable;
+# bench-report turns the text output into BENCH_5.json (per-benchmark
+# metrics plus the sharded-vs-single-lock append speedup — read it with
+# num_cpu in mind: the speedup only materialises on multi-core hosts).
 bench:
+	{ \
+	  $(GO) test -run='^$$' -bench='BenchmarkStoreAppend|BenchmarkDedupeMark|BenchmarkStoreSave|BenchmarkShardedMerge' \
+	    -benchtime=$(BENCHTIME) -benchmem ./internal/dataset/ && \
+	  $(GO) test -run='^$$' -bench='BenchmarkIngestBatch' -benchtime=$(BENCHTIME) -benchmem ./internal/collector/ && \
+	  $(GO) test -run='^$$' -bench='BenchmarkSpoolDrain' -benchtime=$(BENCHTIME) -benchmem ./internal/spool/ && \
+	  $(GO) test -run='^$$' -bench='BenchmarkWorldRunHome' -benchtime=$(BENCHTIME) -benchmem ./internal/world/ && \
+	  $(GO) test -run='^$$' -bench='BenchmarkLoadgenEndToEnd' -benchtime=$(BENCHTIME) -benchmem ./internal/loadgen/ ; \
+	} | $(GO) run ./cmd/bench-report -pr 5 -out BENCH_5.json
+
+# The full paper-reproduction driver (tables/figures + ablations).
+bench-paper:
 	$(GO) test -bench=. -benchmem
 
 # The telemetry-overhead gate: counter/gauge/histogram updates on the
@@ -62,6 +82,21 @@ check-verify: fuzz-seeds
 	$(GO) test -run='^$$' -fuzz='FuzzDecode' -fuzztime=$(FUZZTIME) ./internal/packet/
 	$(GO) test -run='^$$' -fuzz='FuzzJournalReplay' -fuzztime=$(FUZZTIME) ./internal/spool/
 	$(GO) test -run='^$$' -fuzz='FuzzRequestDecode' -fuzztime=$(FUZZTIME) ./internal/collector/
+
+# The scale gate, under the race detector:
+#   1. sharded-store stress (32 shards, concurrent appliers + replays)
+#      and the CSV-identity regression against the single-lock seed store;
+#   2. collector admission control — 429 + Retry-After when ingest is
+#      saturated, control plane exempt;
+#   3. loadgen soaks — ~200 synthetic routers with strict row accounting,
+#      clean and under fault injection / throttling;
+#   4. analysis figures on a 10k-router synthetic store within their
+#      per-figure time budgets (O(n^2) regression guard).
+check-load:
+	$(GO) test -race -run 'TestSharded' ./internal/dataset/
+	$(GO) test -race -run 'TestSaturatedIngest|TestControlPlaneExempt' ./internal/collector/
+	$(GO) test -race ./internal/loadgen/
+	$(GO) test -race -run 'TestScale' ./internal/analysis/
 
 # Replay the checked-in fuzz corpora as plain unit tests (fast, -race).
 fuzz-seeds:

@@ -1,0 +1,159 @@
+// bench-report turns `go test -bench` text output (read from stdin)
+// into the repo's benchmark-trajectory JSON (BENCH_<pr>.json). Each
+// benchmark line becomes a record of its iteration count and every
+// reported metric (ns/op, B/op, rows/s, ...); derived ratios the
+// acceptance gates care about are computed when their inputs are
+// present.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem ./... | bench-report -pr 5 -out BENCH_5.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches e.g.
+//
+//	BenchmarkStoreAppend/mode=sharded/goroutines=8-4   431890   896.5 ns/op   1115470 uploads/s   210 B/op   1 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// Benchmarks that log during the run split across lines: the name is
+// printed first, the results arrive later on an indented line. benchName
+// and benchCont pick up the pieces.
+var (
+	benchName = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\b`)
+	benchCont = regexp.MustCompile(`^\s+(\d+)\s+(\d.*ns/op.*)$`)
+)
+
+type benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type report struct {
+	PR         int                `json:"pr"`
+	Go         string             `json:"go"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	NumCPU     int                `json:"num_cpu"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Benchmarks []benchmark        `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived,omitempty"`
+}
+
+func main() {
+	pr := flag.Int("pr", 5, "PR number for the trajectory file")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep := report{
+		PR:         *pr,
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Derived:    map[string]float64{},
+	}
+
+	record := func(name, iterations, metrics string) {
+		iters, err := strconv.ParseInt(iterations, 10, 64)
+		if err != nil {
+			return
+		}
+		b := benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+		// The metrics field alternates "<value> <unit>" pairs.
+		fields := strings.Fields(metrics)
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+
+	pending := "" // name seen without results yet (logs split the line)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the run stays readable
+		if m := benchLine.FindStringSubmatch(line); m != nil {
+			record(m[1], m[2], m[3])
+			pending = ""
+			continue
+		}
+		if m := benchName.FindStringSubmatch(line); m != nil {
+			pending = m[1]
+			continue
+		}
+		if pending != "" {
+			if m := benchCont.FindStringSubmatch(line); m != nil {
+				record(pending, m[1], m[2])
+				pending = ""
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench-report: read:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "bench-report: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	derive(&rep)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-report:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench-report:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench-report: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+}
+
+// derive computes the trajectory ratios. The headline one is the
+// sharded-store speedup over the single-lock seed store at 8 concurrent
+// writers — >= 2x on multi-core collectors; ~1x on a single-CPU runner,
+// where lock striping has no parallelism to harvest (check num_cpu
+// before reading it).
+func derive(rep *report) {
+	nsop := func(name string) float64 {
+		for _, b := range rep.Benchmarks {
+			if b.Name == name {
+				return b.Metrics["ns/op"]
+			}
+		}
+		return 0
+	}
+	for _, g := range []int{1, 8} {
+		single := nsop(fmt.Sprintf("BenchmarkStoreAppend/mode=single-lock/goroutines=%d", g))
+		sharded := nsop(fmt.Sprintf("BenchmarkStoreAppend/mode=sharded/goroutines=%d", g))
+		if single > 0 && sharded > 0 {
+			rep.Derived[fmt.Sprintf("sharded_append_speedup_%d_goroutines", g)] = single / sharded
+		}
+	}
+}

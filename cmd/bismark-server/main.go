@@ -35,7 +35,7 @@ func main() {
 
 	log := telemetry.SetupLogger("bismark-server")
 
-	store := dataset.NewStore()
+	store := dataset.NewSharded(0)
 	srv, err := collector.NewServer(*udp, *httpAddr, store)
 	if err != nil {
 		log.Error("start failed", "err", err)
@@ -64,11 +64,12 @@ func main() {
 			for _, id := range store.Heartbeats.Routers() {
 				beats += store.Heartbeats.Count(id)
 			}
+			rc := store.RowCounts()
 			log.Info("collection progress",
-				"routers", len(store.RouterCountry), "heartbeats", beats,
-				"uptime", len(store.Uptime), "capacity", len(store.Capacity),
-				"counts", len(store.Counts), "wifi", len(store.WiFi),
-				"flows", len(store.Flows))
+				"routers", rc.Routers, "heartbeats", beats,
+				"uptime", rc.Uptime, "capacity", rc.Capacity,
+				"counts", rc.Counts, "wifi", rc.WiFi,
+				"flows", rc.Flows)
 		case <-stop:
 			log.Info("shutting down", "out", *out)
 			if err := srv.Close(); err != nil {

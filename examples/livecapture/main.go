@@ -30,7 +30,7 @@ func main() {
 	log.SetFlags(0)
 
 	// 1. Collection server on ephemeral loopback ports.
-	store := dataset.NewStore()
+	store := dataset.NewSharded(0)
 	srv, err := collector.NewServer("127.0.0.1:0", "127.0.0.1:0", store)
 	if err != nil {
 		log.Fatal(err)
@@ -106,17 +106,18 @@ func main() {
 		time.Sleep(10 * time.Millisecond)
 	}
 
+	st := store.Merge()
 	fmt.Printf("\nserver-side view of the home:\n")
-	fmt.Printf("  heartbeats received: %d\n", store.Heartbeats.Count("live-home-1"))
-	fmt.Printf("  uptime reports:      %d\n", len(store.Uptime))
-	fmt.Printf("  capacity measures:   %d\n", len(store.Capacity))
-	for _, c := range store.Capacity {
+	fmt.Printf("  heartbeats received: %d\n", st.Heartbeats.Count("live-home-1"))
+	fmt.Printf("  uptime reports:      %d\n", len(st.Uptime))
+	fmt.Printf("  capacity measures:   %d\n", len(st.Capacity))
+	for _, c := range st.Capacity {
 		fmt.Printf("    up=%.2f Mbps down=%.2f Mbps (provisioned %.2f/%.2f)\n",
 			c.UpBps/1e6, c.DownBps/1e6, home.UpBps/1e6, home.DownBps/1e6)
 	}
-	fmt.Printf("  flows exported:      %d (all anonymized)\n", len(store.Flows))
+	fmt.Printf("  flows exported:      %d (all anonymized)\n", len(st.Flows))
 	shown := 0
-	for _, f := range store.Flows {
+	for _, f := range st.Flows {
 		if f.Domain == "" || shown == 5 {
 			continue
 		}

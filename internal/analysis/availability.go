@@ -261,21 +261,36 @@ const (
 
 // ClassifyDowntime infers the cause of one downtime for a router.
 func ClassifyDowntime(st *dataset.Store, id string, d heartbeat.Downtime) DowntimeCause {
+	var reports []dataset.UptimeReport
+	for _, r := range st.Uptime {
+		if r.RouterID == id {
+			reports = append(reports, r)
+		}
+	}
+	sortUptime(reports)
+	return classifyFromReports(reports, d)
+}
+
+// sortUptime orders one router's reports by report time.
+func sortUptime(reports []dataset.UptimeReport) {
+	sort.Slice(reports, func(i, j int) bool {
+		return reports[i].ReportedAt.Before(reports[j].ReportedAt)
+	})
+}
+
+// classifyFromReports is ClassifyDowntime over a pre-sorted slice of one
+// router's uptime reports, so callers tallying many downtimes can index
+// once and binary-search per gap.
+func classifyFromReports(reports []dataset.UptimeReport, d heartbeat.Downtime) DowntimeCause {
 	// The first uptime report at or after the gap's end tells us when the
 	// router last booted.
-	var best *dataset.UptimeReport
-	for i := range st.Uptime {
-		r := &st.Uptime[i]
-		if r.RouterID != id || r.ReportedAt.Before(d.End) {
-			continue
-		}
-		if best == nil || r.ReportedAt.Before(best.ReportedAt) {
-			best = r
-		}
-	}
-	if best == nil || best.ReportedAt.Sub(d.End) > 24*time.Hour {
+	i := sort.Search(len(reports), func(i int) bool {
+		return !reports[i].ReportedAt.Before(d.End)
+	})
+	if i == len(reports) || reports[i].ReportedAt.Sub(d.End) > 24*time.Hour {
 		return CauseUnknown
 	}
+	best := reports[i]
 	bootedAt := best.ReportedAt.Add(-best.Uptime)
 	// Booted before the gap began (with slack for report cadence): the
 	// router was powered throughout — a network outage.
@@ -288,10 +303,17 @@ func ClassifyDowntime(st *dataset.Store, id string, d heartbeat.Downtime) Downti
 // DowntimeCauses tallies causes for every downtime of a group within the
 // window where Uptime data exists.
 func DowntimeCauses(st *dataset.Store, g Group, w AvailabilityWindow) map[DowntimeCause]int {
+	byRouter := map[string][]dataset.UptimeReport{}
+	for _, r := range st.Uptime {
+		byRouter[r.RouterID] = append(byRouter[r.RouterID], r)
+	}
+	for _, reports := range byRouter {
+		sortUptime(reports)
+	}
 	out := map[DowntimeCause]int{}
 	for _, id := range RoutersInGroup(st, g) {
 		for _, d := range st.Heartbeats.Downtimes(id, w.From, w.To, w.Threshold) {
-			out[ClassifyDowntime(st, id, d)]++
+			out[classifyFromReports(byRouter[id], d)]++
 		}
 	}
 	return out

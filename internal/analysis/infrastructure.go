@@ -117,17 +117,27 @@ func AlwaysConnected(st *dataset.Store, minSpan time.Duration) map[Group]AlwaysC
 	for _, c := range st.Counts {
 		censuses[c.RouterID] = append(censuses[c.RouterID], c.At)
 	}
-	// Sightings per router per device.
-	type devKey struct {
-		id  string
-		dev mac.Addr
+	// Sightings grouped per router, then per device, so the scan below
+	// only visits each home's own devices (a flat device map made this
+	// O(homes × fleet-wide devices), which bites at fleet scale).
+	type devInfo struct {
+		count int
+		kind  dataset.ConnKind
 	}
-	sightCount := map[devKey]int{}
-	devKind := map[devKey]dataset.ConnKind{}
+	sightings := map[string]map[mac.Addr]*devInfo{}
 	for _, s := range st.Sightings {
-		k := devKey{s.RouterID, s.Device}
-		sightCount[k]++
-		devKind[k] = s.Kind
+		m := sightings[s.RouterID]
+		if m == nil {
+			m = map[mac.Addr]*devInfo{}
+			sightings[s.RouterID] = m
+		}
+		d := m[s.Device]
+		if d == nil {
+			d = &devInfo{}
+			m[s.Device] = d
+		}
+		d.count++
+		d.kind = s.Kind
 	}
 	out := map[Group]AlwaysConnectedShare{}
 	for id, cs := range censuses {
@@ -145,11 +155,11 @@ func AlwaysConnected(st *dataset.Store, minSpan time.Duration) map[Group]AlwaysC
 		share.Homes++
 		if span >= minSpan {
 			wired, wireless := false, false
-			for k, n := range sightCount {
-				if k.id != id || n < len(cs) {
+			for _, d := range sightings[id] {
+				if d.count < len(cs) {
 					continue
 				}
-				if devKind[k] == dataset.Wired {
+				if d.kind == dataset.Wired {
 					wired = true
 				} else {
 					wireless = true

@@ -1,0 +1,78 @@
+package collector
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// benchBatchBody builds one /v1/batch payload: `items` uptime uploads
+// spread across `routers` routers, with empty idempotency keys so the
+// same body can be replayed every iteration (an empty key is always
+// fresh — dedupe applies only to keyed uploads).
+func benchBatchBody(b *testing.B, routers, items int) []byte {
+	b.Helper()
+	batch := make([]BatchItem, items)
+	for i := range batch {
+		body, err := json.Marshal(uptimeRow(fmt.Sprintf("bench-%03d", i%routers), time.Duration(i)*time.Second))
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch[i] = BatchItem{Endpoint: "/v1/uptime", Body: body}
+	}
+	body, err := json.Marshal(batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}
+
+func uptimeRow(router string, uptime time.Duration) any {
+	return map[string]any{"RouterID": router, "ReportedAt": t0, "Uptime": uptime}
+}
+
+// BenchmarkIngestBatch measures the collector's ingest path — batch
+// envelope decode, per-item payload decode, and sharded store apply —
+// without sockets. This is the per-request server cost a fleet's POSTs
+// pay; BENCH_*.json tracks it as rows/s.
+func BenchmarkIngestBatch(b *testing.B) {
+	const routers, items = 16, 32
+	for _, g := range []int{1, 8} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			srv, err := NewServer("127.0.0.1:0", "127.0.0.1:0", nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			body := benchBatchBody(b, routers, items)
+
+			var wg sync.WaitGroup
+			per := b.N / g
+			b.ReportAllocs()
+			b.ResetTimer()
+			for w := 0; w < g; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						req := httptest.NewRequest(http.MethodPost, "/v1/batch", bytes.NewReader(body))
+						rec := httptest.NewRecorder()
+						srv.handleBatch(rec, req)
+						if rec.Code != http.StatusOK {
+							b.Errorf("status %d", rec.Code)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*items/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"natpeek/internal/dataset"
@@ -52,25 +53,39 @@ const closeTimeout = 3 * time.Second
 // batches sit far below this.
 const maxUploadBytes = 8 << 20
 
-// applyFunc decodes one endpoint's payload outside the store lock and
-// returns the mutation to run under it.
-type applyFunc func(body json.RawMessage) (func(*dataset.Store), error)
+// DefaultMaxInflight is the admission-control limit: the number of
+// data-plane uploads the server will decode and apply concurrently
+// before answering 429. It bounds memory (each in-flight request may
+// hold up to maxUploadBytes of body) rather than CPU; the sharded store
+// itself has no global serialization to protect.
+const DefaultMaxInflight = 256
 
-// decodeApply builds an applyFunc from a typed store mutation.
-func decodeApply[T any](apply func(*dataset.Store, T)) applyFunc {
-	return func(body json.RawMessage) (func(*dataset.Store), error) {
+// applyFunc decodes one endpoint's payload outside any store lock and
+// returns the originating router plus the mutation to run under that
+// router's shard lock.
+type applyFunc func(body json.RawMessage) (string, func(*dataset.Store), error)
+
+// decodeApply builds an applyFunc from a router extractor and a typed
+// store mutation. The router ID picks the store shard, so extraction
+// happens at decode time, outside any lock.
+func decodeApply[T any](router func(T) string, apply func(*dataset.Store, T)) applyFunc {
+	return func(body json.RawMessage) (string, func(*dataset.Store), error) {
 		var v T
 		if err := json.Unmarshal(body, &v); err != nil {
-			return nil, err
+			return "", nil, err
 		}
-		return func(st *dataset.Store) { apply(st, v) }, nil
+		return router(v), func(st *dataset.Store) { apply(st, v) }, nil
 	}
 }
 
-// Server is the collection server.
+// Server is the collection server. The store is lock-striped
+// (dataset.Sharded): uploads for different routers decode and append
+// concurrently, with no global serialization on the ingest path. The
+// server's own mutex only guards the fault injector.
 type Server struct {
-	mu    sync.Mutex
-	store *dataset.Store
+	mu     sync.Mutex // guards faults only
+	store  *dataset.Sharded
+	admit  atomic.Value // chan struct{}; see SetMaxInflight
 
 	appliers map[string]applyFunc
 
@@ -87,6 +102,7 @@ type Server struct {
 	mItems      *telemetry.CounterVec
 	mDedupe     *telemetry.CounterVec
 	mInjected   *telemetry.CounterVec
+	mThrottled  *telemetry.CounterVec
 	hLatency    *telemetry.HistogramVec
 
 	faults *faultInjector
@@ -99,9 +115,9 @@ type Server struct {
 // NewServer starts a collection server with a UDP heartbeat port and an
 // HTTP upload API. Pass "127.0.0.1:0" style addresses; zero ports pick
 // ephemeral ones.
-func NewServer(udpAddr, httpAddr string, store *dataset.Store) (*Server, error) {
+func NewServer(udpAddr, httpAddr string, store *dataset.Sharded) (*Server, error) {
 	if store == nil {
-		store = dataset.NewStore()
+		store = dataset.NewSharded(0)
 	}
 	reg := telemetry.Default
 	s := &Server{
@@ -121,10 +137,13 @@ func NewServer(udpAddr, httpAddr string, store *dataset.Store) (*Server, error) 
 			"Uploads skipped because their idempotency key was already applied, per endpoint.", "endpoint"),
 		mInjected: reg.CounterVec("natpeek_collector_injected_failures_total",
 			"Failures injected by SetFaultInjection, per mode (reject=before apply, drop-ack=after).", "mode"),
+		mThrottled: reg.CounterVec("natpeek_collector_throttled_total",
+			"Uploads answered 429 because the in-flight limit was reached, per endpoint.", "endpoint"),
 		hLatency: reg.HistogramVec("natpeek_http_request_seconds",
 			"Upload API request handling latency.", nil, "endpoint"),
 	}
 	s.appliers = newAppliers()
+	s.admit.Store(make(chan struct{}, DefaultMaxInflight))
 	rx, err := heartbeat.NewReceiver(udpAddr, store.Heartbeats, nil)
 	if err != nil {
 		return nil, err
@@ -163,38 +182,62 @@ func NewServer(udpAddr, httpAddr string, store *dataset.Store) (*Server, error) 
 func newAppliers() map[string]applyFunc {
 	return map[string]applyFunc{
 		"/v1/register": decodeApplyRegister(),
-		"/v1/uptime": decodeApply(func(st *dataset.Store, r dataset.UptimeReport) {
-			st.Uptime = append(st.Uptime, r)
-		}),
-		"/v1/capacity": decodeApply(func(st *dataset.Store, c dataset.CapacityMeasure) {
-			st.Capacity = append(st.Capacity, c)
-		}),
-		"/v1/devices": decodeApply(func(st *dataset.Store, up censusUpload) {
-			st.Counts = append(st.Counts, up.Count)
-			st.Sightings = append(st.Sightings, up.Sightings...)
-		}),
-		"/v1/wifi": decodeApply(func(st *dataset.Store, scans []dataset.WiFiScan) {
-			st.WiFi = append(st.WiFi, scans...)
-		}),
-		"/v1/traffic/flows": decodeApply(func(st *dataset.Store, fl []dataset.FlowRecord) {
-			st.Flows = append(st.Flows, fl...)
-		}),
-		"/v1/traffic/throughput": decodeApply(func(st *dataset.Store, ts []dataset.ThroughputSample) {
-			st.Throughput = append(st.Throughput, ts...)
-		}),
+		"/v1/uptime": decodeApply(
+			func(r dataset.UptimeReport) string { return r.RouterID },
+			func(st *dataset.Store, r dataset.UptimeReport) {
+				st.Uptime = append(st.Uptime, r)
+			}),
+		"/v1/capacity": decodeApply(
+			func(c dataset.CapacityMeasure) string { return c.RouterID },
+			func(st *dataset.Store, c dataset.CapacityMeasure) {
+				st.Capacity = append(st.Capacity, c)
+			}),
+		"/v1/devices": decodeApply(
+			func(up censusUpload) string { return up.Count.RouterID },
+			func(st *dataset.Store, up censusUpload) {
+				st.Counts = append(st.Counts, up.Count)
+				st.Sightings = append(st.Sightings, up.Sightings...)
+			}),
+		"/v1/wifi": decodeApply(
+			func(scans []dataset.WiFiScan) string { return firstRouter(scans, func(s dataset.WiFiScan) string { return s.RouterID }) },
+			func(st *dataset.Store, scans []dataset.WiFiScan) {
+				st.WiFi = append(st.WiFi, scans...)
+			}),
+		"/v1/traffic/flows": decodeApply(
+			func(fl []dataset.FlowRecord) string { return firstRouter(fl, func(f dataset.FlowRecord) string { return f.RouterID }) },
+			func(st *dataset.Store, fl []dataset.FlowRecord) {
+				st.Flows = append(st.Flows, fl...)
+			}),
+		"/v1/traffic/throughput": decodeApply(
+			func(ts []dataset.ThroughputSample) string { return firstRouter(ts, func(t dataset.ThroughputSample) string { return t.RouterID }) },
+			func(st *dataset.Store, ts []dataset.ThroughputSample) {
+				st.Throughput = append(st.Throughput, ts...)
+			}),
 	}
+}
+
+// firstRouter shard-routes a slice payload by its first row's router. A
+// payload always carries one router's rows (each gateway uploads its
+// own); an empty slice routes to the empty-ID shard, which is safe.
+func firstRouter[T any](rows []T, id func(T) string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	return id(rows[0])
 }
 
 // decodeApplyRegister validates registration on top of the generic
 // decode (a router must have an ID).
 func decodeApplyRegister() applyFunc {
-	inner := decodeApply(func(st *dataset.Store, req registerReq) {
-		st.RouterCountry[req.RouterID] = req.Country
-	})
-	return func(body json.RawMessage) (func(*dataset.Store), error) {
+	inner := decodeApply(
+		func(req registerReq) string { return req.RouterID },
+		func(st *dataset.Store, req registerReq) {
+			st.RouterCountry[req.RouterID] = req.Country
+		})
+	return func(body json.RawMessage) (string, func(*dataset.Store), error) {
 		var req registerReq
 		if err := json.Unmarshal(body, &req); err != nil || req.RouterID == "" {
-			return nil, fmt.Errorf("bad register")
+			return "", nil, fmt.Errorf("bad register")
 		}
 		return inner(body)
 	}
@@ -206,9 +249,28 @@ func (s *Server) UDPAddr() string { return s.hbRx.Addr().String() }
 // HTTPAddr returns the upload API address.
 func (s *Server) HTTPAddr() string { return s.ln.Addr().String() }
 
-// Store returns the server's dataset store. Callers must not mutate it
-// while the server is running; use Snapshot-style access after Close.
-func (s *Server) Store() *dataset.Store { return s.store }
+// Store returns a merged point-in-time snapshot of everything the
+// server has collected, in global arrival order. The snapshot is safe
+// to read (and, after Close, to keep) — it shares nothing with the
+// ingest path except the internally-synchronized heartbeat log.
+func (s *Server) Store() *dataset.Store { return s.store.Merge() }
+
+// Sharded returns the server's live striped store, for callers that
+// need cheap row counts (RowCounts) or to share the store across a
+// server restart.
+func (s *Server) Sharded() *dataset.Sharded { return s.store }
+
+// SetMaxInflight replaces the admission limit for data-plane uploads
+// (n <= 0 restores DefaultMaxInflight). Requests beyond the limit are
+// answered 429 + Retry-After instead of queuing, so a saturated
+// collector sheds load onto the clients' spools — which already retry
+// any non-2xx with backoff — rather than blocking its accept loop.
+func (s *Server) SetMaxInflight(n int) {
+	if n <= 0 {
+		n = DefaultMaxInflight
+	}
+	s.admit.Store(make(chan struct{}, n))
+}
 
 // SetFaultInjection makes the server fail the given fraction of upload
 // requests, deterministically driven by seed. Half of the injected
@@ -287,18 +349,37 @@ func (c *countingReader) Read(p []byte) (int, error) {
 func (c *countingReader) Close() error { return c.rc.Close() }
 
 // instrument wraps an endpoint handler with the request/latency/payload
-// metrics, bounds the request body, and applies fault injection to
-// injectable (data-plane) endpoints. Metric handles are resolved once
-// per endpoint at mux build time.
+// metrics, bounds the request body, applies admission control, and
+// applies fault injection to injectable (data-plane) endpoints. Metric
+// handles are resolved once per endpoint at mux build time.
+//
+// Admission control is non-blocking: when the in-flight limit is
+// reached the request is answered 429 + Retry-After immediately — load
+// is shed onto the clients' retrying spools instead of parking
+// goroutines (and their request bodies) inside the server.
 func (s *Server) instrument(endpoint string, injectable bool, h http.HandlerFunc) http.HandlerFunc {
 	reqs := s.mReqs.With(endpoint)
 	payload := s.mPayload.With(endpoint)
 	lat := s.hLatency.With(endpoint)
 	reject := s.mInjected.With("reject")
 	dropAck := s.mInjected.With("drop-ack")
+	throttled := s.mThrottled.With(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		reqs.Inc()
+		if injectable {
+			sem := s.admit.Load().(chan struct{})
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			default:
+				throttled.Inc()
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "ingest saturated, retry later", http.StatusTooManyRequests)
+				lat.Observe(time.Since(start).Seconds())
+				return
+			}
+		}
 		var cr *countingReader
 		if r.Body != nil {
 			cr = &countingReader{rc: http.MaxBytesReader(w, r.Body, maxUploadBytes)}
@@ -328,17 +409,15 @@ func (s *Server) instrument(endpoint string, injectable bool, h http.HandlerFunc
 	}
 }
 
-// ingest runs one decoded payload against the store, honoring its
-// idempotency key. It reports whether the payload was applied (false
-// means a deduplicated replay).
-func (s *Server) ingest(endpoint, key string, apply func(*dataset.Store)) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.store.MarkApplied(key) {
+// ingest runs one decoded payload against the originating router's
+// store shard, honoring its idempotency key. It reports whether the
+// payload was applied (false means a deduplicated replay). Uploads for
+// different routers take different shard locks and proceed in parallel.
+func (s *Server) ingest(endpoint, key, router string, apply func(*dataset.Store)) bool {
+	if !s.store.Apply(router, key, apply) {
 		s.mDedupe.With(endpoint).Inc()
 		return false
 	}
-	apply(s.store)
 	return true
 }
 
@@ -355,13 +434,13 @@ func (s *Server) jsonEndpoint(endpoint string) http.HandlerFunc {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		apply, err := af(body)
+		router, apply, err := af(body)
 		if err != nil {
 			decodeErrs.Inc()
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		s.ingest(endpoint, r.Header.Get("Idempotency-Key"), apply)
+		s.ingest(endpoint, r.Header.Get("Idempotency-Key"), router, apply)
 		w.WriteHeader(http.StatusNoContent)
 	}
 }
@@ -401,14 +480,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			res.Rejected++
 			continue
 		}
-		apply, err := af(it.Body)
+		router, apply, err := af(it.Body)
 		if err != nil {
 			s.mDecodeErrs.With(it.Endpoint).Inc()
 			res.Rejected++
 			continue
 		}
 		s.mItems.With(it.Endpoint).Inc()
-		if s.ingest(it.Endpoint, it.Key, apply) {
+		if s.ingest(it.Endpoint, it.Key, router, apply) {
 			res.Applied++
 		} else {
 			res.Duplicates++
@@ -466,17 +545,16 @@ type Stats struct {
 }
 
 func (s *Server) stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	rc := s.store.RowCounts()
 	st := Stats{
-		Routers:    len(s.store.RouterCountry),
-		Uptime:     len(s.store.Uptime),
-		Capacity:   len(s.store.Capacity),
-		Counts:     len(s.store.Counts),
-		Sightings:  len(s.store.Sightings),
-		WiFi:       len(s.store.WiFi),
-		Flows:      len(s.store.Flows),
-		Throughput: len(s.store.Throughput),
+		Routers:    rc.Routers,
+		Uptime:     rc.Uptime,
+		Capacity:   rc.Capacity,
+		Counts:     rc.Counts,
+		Sightings:  rc.Sightings,
+		WiFi:       rc.WiFi,
+		Flows:      rc.Flows,
+		Throughput: rc.Throughput,
 	}
 	for _, id := range s.store.Heartbeats.Routers() {
 		st.Heartbeats += s.store.Heartbeats.Count(id)

@@ -44,7 +44,7 @@ func FuzzRequestDecode(f *testing.F) {
 		// Direct endpoint decode: the body is offered to every endpoint,
 		// as a mis-routed client could.
 		for _, ep := range endpoints {
-			if apply, err := appliers[ep](data); err == nil {
+			if _, apply, err := appliers[ep](data); err == nil {
 				apply(dataset.NewStore())
 			}
 		}
@@ -58,7 +58,7 @@ func FuzzRequestDecode(f *testing.F) {
 				if af == nil {
 					continue
 				}
-				if apply, err := af(it.Body); err == nil {
+				if _, apply, err := af(it.Body); err == nil {
 					apply(st)
 				}
 			}

@@ -25,7 +25,7 @@ func fastSpool(cfg spool.Config) spool.Config {
 
 // restartServer brings a replacement server up on the exact addresses a
 // closed one used, retrying briefly while the kernel releases the ports.
-func restartServer(t *testing.T, udpAddr, httpAddr string, store *dataset.Store) *Server {
+func restartServer(t *testing.T, udpAddr, httpAddr string, store *dataset.Sharded) *Server {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
@@ -47,7 +47,7 @@ func restartServer(t *testing.T, udpAddr, httpAddr string, store *dataset.Store)
 // land in the store exactly once, with the retries and dedupes visible
 // on /metrics.
 func TestZeroRowLossThroughFaultsAndRestart(t *testing.T) {
-	store := dataset.NewStore()
+	store := dataset.NewSharded(0)
 	srv, err := NewServer("127.0.0.1:0", "127.0.0.1:0", store)
 	if err != nil {
 		t.Fatal(err)
@@ -101,7 +101,7 @@ func TestZeroRowLossThroughFaultsAndRestart(t *testing.T) {
 	m1 := scrape(t, httpAddr)
 	srv2.Close()
 	seen := make(map[time.Duration]bool, want)
-	for _, r := range store.Uptime {
+	for _, r := range store.Merge().Uptime {
 		if seen[r.Uptime] {
 			t.Fatalf("row %v ingested twice", r.Uptime)
 		}

@@ -1,0 +1,38 @@
+package world
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkWorldRunHome measures one full simulated home-day: build a
+// one-router world and run every emitter (heartbeats, uptime, device
+// census, WiFi scans, capacity probes, statistical traffic) into the
+// in-process store. This is the simulator-side cost of producing one
+// router's rows — the denominator when sizing synthetic deployments —
+// tracked in BENCH_*.json as homes/s.
+func BenchmarkWorldRunHome(b *testing.B) {
+	base := time.Date(2013, 4, 1, 0, 0, 0, 0, time.UTC)
+	cfg := Config{
+		Countries:         []string{"US"},
+		RoutersPerCountry: 1,
+		TrafficHomes:      1,
+		GlobalTraffic:     true,
+		ProbeTrainLength:  20,
+		HeartbeatsFrom:    base, HeartbeatsTo: base.Add(24 * time.Hour),
+		UptimeFrom: base, UptimeTo: base.Add(24 * time.Hour),
+		WiFiFrom: base, WiFiTo: base.Add(24 * time.Hour),
+		CapacityFrom: base, CapacityTo: base.Add(24 * time.Hour),
+		TrafficFrom: base, TrafficTo: base.Add(24 * time.Hour),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		w := Build(cfg)
+		if err := w.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "homes/s")
+}
