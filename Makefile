@@ -3,7 +3,7 @@
 #   make check        # vet + build + tests with -race + verify + load gates
 #   make check-verify # golden runs, conservation invariants, parser fuzzing
 #   make check-load   # sharded-store stress + admission + loadgen soaks, -race
-#   make bench        # regression benchmark suite -> BENCH_5.json
+#   make bench        # regression benchmark suite -> BENCH_6.json
 #   make bench-paper  # full reproduction driver (tables/figures + ablations)
 
 GO ?= go
@@ -32,9 +32,11 @@ race:
 	$(GO) test -race ./...
 
 # The scale-regression suite. Fixed -benchtime keeps runs comparable;
-# bench-report turns the text output into BENCH_5.json (per-benchmark
+# bench-report turns the text output into BENCH_6.json (per-benchmark
 # metrics plus the sharded-vs-single-lock append speedup — read it with
 # num_cpu in mind: the speedup only materialises on multi-core hosts).
+# BenchmarkIngestBatchTraced rides the same regex and tracks the tracing
+# on/off delta on the ingest hot path (budget: <5% median overhead).
 bench:
 	{ \
 	  $(GO) test -run='^$$' -bench='BenchmarkStoreAppend|BenchmarkDedupeMark|BenchmarkStoreSave|BenchmarkShardedMerge' \
@@ -43,7 +45,7 @@ bench:
 	  $(GO) test -run='^$$' -bench='BenchmarkSpoolDrain' -benchtime=$(BENCHTIME) -benchmem ./internal/spool/ && \
 	  $(GO) test -run='^$$' -bench='BenchmarkWorldRunHome' -benchtime=$(BENCHTIME) -benchmem ./internal/world/ && \
 	  $(GO) test -run='^$$' -bench='BenchmarkLoadgenEndToEnd' -benchtime=$(BENCHTIME) -benchmem ./internal/loadgen/ ; \
-	} | $(GO) run ./cmd/bench-report -pr 5 -out BENCH_5.json
+	} | $(GO) run ./cmd/bench-report -pr 6 -out BENCH_6.json
 
 # The full paper-reproduction driver (tables/figures + ablations).
 bench-paper:

@@ -17,6 +17,7 @@ package main
 import (
 	"context"
 	"flag"
+	"net/http"
 	"net/netip"
 	"os"
 	"time"
@@ -33,6 +34,8 @@ import (
 	"natpeek/internal/rng"
 	"natpeek/internal/spool"
 	"natpeek/internal/telemetry"
+	"natpeek/internal/trace"
+	"natpeek/internal/webui"
 	"natpeek/internal/wifi"
 )
 
@@ -50,17 +53,6 @@ func main() {
 
 	log := telemetry.SetupLogger("bismark-gateway")
 
-	if *debugAddr != "" {
-		dbg, err := telemetry.StartDebug(*debugAddr, nil)
-		if err != nil {
-			log.Error("debug listener failed", "err", err)
-			os.Exit(1)
-		}
-		defer dbg.Close()
-		log.Info("debug listener up", "metrics", "http://"+dbg.Addr()+"/metrics",
-			"pprof", "http://"+dbg.Addr()+"/debug/pprof/")
-	}
-
 	cty, ok := geo.Lookup(*country)
 	if !ok {
 		log.Error("unknown country", "country", *country)
@@ -73,6 +65,35 @@ func main() {
 		os.Exit(1)
 	}
 	defer cli.Close()
+
+	if *debugAddr != "" {
+		// The debug listener carries the gateway-side ops view: the
+		// client's flight recorder (each payload's trace up to the server
+		// ack) and a pipeline page fed by the spool's health sampler.
+		dbg, err := telemetry.StartDebugWith(*debugAddr, nil, func(mux *http.ServeMux) {
+			trace.RegisterDebug(mux, cli.TraceRecorder())
+			clientSnap := webui.PipelineFromTelemetry(nil, cli.TraceRecorder(), nil)
+			webui.RegisterPipeline(mux, webui.PipelineConfig{
+				Title: *id,
+				Snapshot: func() webui.PipelineSnapshot {
+					s := clientSnap()
+					for _, h := range cli.SpoolHealth() {
+						s.SpoolDepth += float64(h.Depth)
+					}
+					return s
+				},
+			})
+		})
+		if err != nil {
+			log.Error("debug listener failed", "err", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		log.Info("debug listener up", "metrics", "http://"+dbg.Addr()+"/metrics",
+			"traces", "http://"+dbg.Addr()+"/debug/traces",
+			"pipeline", "http://"+dbg.Addr()+"/pipeline",
+			"pprof", "http://"+dbg.Addr()+"/debug/pprof/")
+	}
 
 	// Build the synthetic home.
 	home := household.Generate(cty, 900, rng.New(*seed))

@@ -31,6 +31,8 @@ func main() {
 	statsEvery := flag.Duration("stats-every", 30*time.Second, "how often to log collection progress")
 	failRate := flag.Float64("fail-rate", 0, "fault injection: fraction of uploads to fail (half rejected, half applied with the ack dropped) to exercise gateway retries and server dedupe")
 	failSeed := flag.Uint64("fail-seed", 1, "fault injection RNG seed")
+	traceSample := flag.Float64("trace-sample", 0.05, "tail-sampling keep probability for healthy traces (error, throttled, and slow traces are always kept)")
+	traceSlow := flag.Duration("trace-slow", 500*time.Millisecond, "traces at least this slow are always kept")
 	flag.Parse()
 
 	log := telemetry.SetupLogger("bismark-server")
@@ -45,11 +47,14 @@ func main() {
 		srv.SetFaultInjection(*failRate, *failSeed)
 		log.Warn("fault injection enabled", "rate", *failRate, "seed", *failSeed)
 	}
+	srv.SetTraceSampling(*traceSample, *traceSlow)
 	log.Info("listening",
 		"heartbeats", "udp://"+srv.UDPAddr(),
 		"uploads", "http://"+srv.HTTPAddr(),
 		"metrics", "http://"+srv.HTTPAddr()+"/metrics",
 		"healthz", "http://"+srv.HTTPAddr()+"/healthz",
+		"traces", "http://"+srv.HTTPAddr()+"/debug/traces",
+		"pipeline", "http://"+srv.HTTPAddr()+"/pipeline",
 		"pprof", "http://"+srv.HTTPAddr()+"/debug/pprof/")
 
 	stop := make(chan os.Signal, 1)

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"natpeek/internal/trace"
 )
 
 // benchBatchBody builds one /v1/batch payload: `items` uptime uploads
@@ -71,6 +73,98 @@ func BenchmarkIngestBatch(b *testing.B) {
 				}()
 			}
 			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*items/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// benchNoncePlaceholder is the fixed-width run-counter slot inside every
+// benchmark idempotency key; patching it per iteration makes each batch
+// fresh (real store applies, no dedupe short-circuit) without
+// re-marshaling the payload inside the timed loop.
+const benchNoncePlaceholder = "n0000000000"
+
+// benchTracedBatchBody builds a keyed /v1/batch payload whose items
+// carry wire spans, the shape a spooling gateway actually sends. It
+// returns the body plus the byte offsets of every nonce placeholder.
+func benchTracedBatchBody(b *testing.B, routers, items int) ([]byte, []int) {
+	b.Helper()
+	batch := make([]BatchItem, items)
+	for i := range batch {
+		router := fmt.Sprintf("bench-%03d", i%routers)
+		body, err := json.Marshal(uptimeRow(router, time.Duration(i)*time.Second))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Span times track the wall clock: a spool.queued span stamped in
+		// 2013 would read as a years-slow trace and force the tail sampler
+		// to keep every item, turning the benchmark into the 100%-keep
+		// worst case instead of the shipped steady state.
+		qs := time.Now().Add(-time.Millisecond)
+		key := fmt.Sprintf("%s:%s:%d", router, benchNoncePlaceholder, i)
+		batch[i] = BatchItem{Endpoint: "/v1/uptime", Key: key, Body: body,
+			Trace: &trace.Wire{TraceID: trace.IDFromKey(key), Router: router,
+				Spans: []trace.Span{{Name: "spool.queued", Start: qs, End: qs.Add(time.Millisecond)}}}}
+	}
+	body, err := json.Marshal(batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var offs []int
+	for at := 0; ; {
+		i := bytes.Index(body[at:], []byte(benchNoncePlaceholder))
+		if i < 0 {
+			break
+		}
+		offs = append(offs, at+i+1) // +1: skip the "n", patch the digits
+		at += i + len(benchNoncePlaceholder)
+	}
+	if len(offs) != items {
+		b.Fatalf("found %d nonce slots, want %d", len(offs), items)
+	}
+	return body, offs
+}
+
+// BenchmarkIngestBatchTraced measures what end-to-end tracing costs the
+// ingest hot path at the shipped defaults (5% tail sampling). Both
+// variants decode the same keyed payload with embedded wire spans and
+// apply fresh rows every iteration; only the tracing switch differs, so
+// the delta isolates ID derivation, the pre-sampling decision, and the
+// sampled minority's trace assembly. The overhead budget is <5%. The
+// slow threshold is raised past the benchmark's own run time so the
+// synthetic span ages never read as "slow" and force a 100% keep rate.
+func BenchmarkIngestBatchTraced(b *testing.B) {
+	const routers, items = 16, 32
+	for _, on := range []bool{true, false} {
+		b.Run(fmt.Sprintf("tracing=%v", on), func(b *testing.B) {
+			defer trace.SetEnabled(true)
+			trace.SetEnabled(on)
+			srv, err := NewServer("127.0.0.1:0", "127.0.0.1:0", nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			srv.SetTraceSampling(0.05, time.Hour)
+			body, offs := benchTracedBatchBody(b, routers, items)
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var digits [10]byte
+				for d, v := len(digits)-1, i; d >= 0; d, v = d-1, v/10 {
+					digits[d] = byte('0' + v%10)
+				}
+				for _, off := range offs {
+					copy(body[off:off+len(digits)], digits[:])
+				}
+				req := httptest.NewRequest(http.MethodPost, "/v1/batch", bytes.NewReader(body))
+				rec := httptest.NewRecorder()
+				srv.handleBatch(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("status %d", rec.Code)
+				}
+			}
 			b.StopTimer()
 			b.ReportMetric(float64(b.N)*items/b.Elapsed().Seconds(), "rows/s")
 		})

@@ -42,6 +42,8 @@ import (
 	"natpeek/internal/rng"
 	"natpeek/internal/spool"
 	"natpeek/internal/telemetry"
+	"natpeek/internal/trace"
+	"natpeek/internal/webui"
 )
 
 // closeTimeout bounds how long Close waits for in-flight uploads before
@@ -83,9 +85,9 @@ func decodeApply[T any](router func(T) string, apply func(*dataset.Store, T)) ap
 // concurrently, with no global serialization on the ingest path. The
 // server's own mutex only guards the fault injector.
 type Server struct {
-	mu     sync.Mutex // guards faults only
-	store  *dataset.Sharded
-	admit  atomic.Value // chan struct{}; see SetMaxInflight
+	mu    sync.Mutex // guards faults only
+	store *dataset.Sharded
+	admit atomic.Value // chan struct{}; see SetMaxInflight
 
 	appliers map[string]applyFunc
 
@@ -105,6 +107,7 @@ type Server struct {
 	mThrottled  *telemetry.CounterVec
 	hLatency    *telemetry.HistogramVec
 
+	rec    *trace.Recorder
 	faults *faultInjector
 
 	closeOnce sync.Once
@@ -141,6 +144,7 @@ func NewServer(udpAddr, httpAddr string, store *dataset.Sharded) (*Server, error
 			"Uploads answered 429 because the in-flight limit was reached, per endpoint.", "endpoint"),
 		hLatency: reg.HistogramVec("natpeek_http_request_seconds",
 			"Upload API request handling latency.", nil, "endpoint"),
+		rec: trace.NewRecorder(trace.Config{}),
 	}
 	s.appliers = newAppliers()
 	s.admit.Store(make(chan struct{}, DefaultMaxInflight))
@@ -162,6 +166,13 @@ func NewServer(udpAddr, httpAddr string, store *dataset.Sharded) (*Server, error
 	mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", false, s.handleStats))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	telemetry.RegisterDebug(mux, reg)
+	trace.RegisterDebug(mux, s.rec)
+	webui.RegisterPipeline(mux, webui.PipelineConfig{
+		Title: "collector",
+		Snapshot: webui.PipelineFromTelemetry(s.hLatency, s.rec,
+			reg.Gauge("natpeek_spool_depth",
+				"Payloads currently queued across all spools in this process.")),
+	})
 
 	ln, err := net.Listen("tcp", httpAddr)
 	if err != nil {
@@ -199,17 +210,23 @@ func newAppliers() map[string]applyFunc {
 				st.Sightings = append(st.Sightings, up.Sightings...)
 			}),
 		"/v1/wifi": decodeApply(
-			func(scans []dataset.WiFiScan) string { return firstRouter(scans, func(s dataset.WiFiScan) string { return s.RouterID }) },
+			func(scans []dataset.WiFiScan) string {
+				return firstRouter(scans, func(s dataset.WiFiScan) string { return s.RouterID })
+			},
 			func(st *dataset.Store, scans []dataset.WiFiScan) {
 				st.WiFi = append(st.WiFi, scans...)
 			}),
 		"/v1/traffic/flows": decodeApply(
-			func(fl []dataset.FlowRecord) string { return firstRouter(fl, func(f dataset.FlowRecord) string { return f.RouterID }) },
+			func(fl []dataset.FlowRecord) string {
+				return firstRouter(fl, func(f dataset.FlowRecord) string { return f.RouterID })
+			},
 			func(st *dataset.Store, fl []dataset.FlowRecord) {
 				st.Flows = append(st.Flows, fl...)
 			}),
 		"/v1/traffic/throughput": decodeApply(
-			func(ts []dataset.ThroughputSample) string { return firstRouter(ts, func(t dataset.ThroughputSample) string { return t.RouterID }) },
+			func(ts []dataset.ThroughputSample) string {
+				return firstRouter(ts, func(t dataset.ThroughputSample) string { return t.RouterID })
+			},
 			func(st *dataset.Store, ts []dataset.ThroughputSample) {
 				st.Throughput = append(st.Throughput, ts...)
 			}),
@@ -270,6 +287,17 @@ func (s *Server) SetMaxInflight(n int) {
 		n = DefaultMaxInflight
 	}
 	s.admit.Store(make(chan struct{}, n))
+}
+
+// TraceRecorder exposes the server's flight recorder (also mounted on
+// the API mux at /debug/traces).
+func (s *Server) TraceRecorder() *trace.Recorder { return s.rec }
+
+// SetTraceSampling replaces the tail-sampling knobs: rate is the keep
+// probability for healthy traces, slow the always-keep latency threshold
+// (zero values keep defaults).
+func (s *Server) SetTraceSampling(rate float64, slow time.Duration) {
+	s.rec.SetSampling(rate, slow)
 }
 
 // SetFaultInjection makes the server fail the given fraction of upload
@@ -367,6 +395,10 @@ func (s *Server) instrument(endpoint string, injectable bool, h http.HandlerFunc
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		reqs.Inc()
+		// The Traceparent header names the batch's representative trace
+		// (its first item). It correlates 429s, injected faults, and
+		// latency exemplars back to the originating upload.
+		traceID, _ := trace.ParseTraceparent(r.Header.Get("Traceparent"))
 		if injectable {
 			sem := s.admit.Load().(chan struct{})
 			select {
@@ -374,8 +406,16 @@ func (s *Server) instrument(endpoint string, injectable bool, h http.HandlerFunc
 				defer func() { <-sem }()
 			default:
 				throttled.Inc()
+				if traceID != "" {
+					s.rec.AddPending(traceID, trace.Span{
+						Name: "collector.throttle", Start: start, End: time.Now(),
+						Status: trace.StatusThrottled,
+						Attrs:  []trace.Attr{{K: "endpoint", V: endpoint}},
+					})
+					w.Header().Set("X-Natpeek-Trace", traceID)
+				}
 				w.Header().Set("Retry-After", "1")
-				http.Error(w, "ingest saturated, retry later", http.StatusTooManyRequests)
+				http.Error(w, "ingest saturated, retry later (trace "+traceID+")", http.StatusTooManyRequests)
 				lat.Observe(time.Since(start).Seconds())
 				return
 			}
@@ -394,9 +434,11 @@ func (s *Server) instrument(endpoint string, injectable bool, h http.HandlerFunc
 		switch mode {
 		case faultReject:
 			reject.Inc()
+			s.faultSpan(traceID, "reject", start)
 			http.Error(w, "injected failure (rejected)", http.StatusServiceUnavailable)
 		case faultDropAck:
 			dropAck.Inc()
+			s.faultSpan(traceID, "drop-ack", start)
 			h(&discardResponse{}, r)
 			http.Error(w, "injected failure (ack dropped)", http.StatusServiceUnavailable)
 		default:
@@ -405,8 +447,22 @@ func (s *Server) instrument(endpoint string, injectable bool, h http.HandlerFunc
 		if cr != nil {
 			payload.Add(cr.n)
 		}
-		lat.Observe(time.Since(start).Seconds())
+		lat.ObserveExemplar(time.Since(start).Seconds(), traceID)
 	}
+}
+
+// faultSpan records an injected-fault outcome against the batch's trace.
+// The span is pending: the batch will be retried, and the retry's
+// completion folds the fault history into the final trace.
+func (s *Server) faultSpan(traceID, mode string, start time.Time) {
+	if traceID == "" {
+		return
+	}
+	s.rec.AddPending(traceID, trace.Span{
+		Name: "collector.fault", Start: start, End: time.Now(),
+		Status: trace.StatusError,
+		Attrs:  []trace.Attr{{K: "mode", V: mode}},
+	})
 }
 
 // ingest runs one decoded payload against the originating router's
@@ -428,6 +484,7 @@ func (s *Server) jsonEndpoint(endpoint string) http.HandlerFunc {
 	af := s.appliers[endpoint]
 	decodeErrs := s.mDecodeErrs.With(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
 		body, err := io.ReadAll(r.Body)
 		if err != nil {
 			decodeErrs.Inc()
@@ -440,7 +497,20 @@ func (s *Server) jsonEndpoint(endpoint string) http.HandlerFunc {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		s.ingest(endpoint, r.Header.Get("Idempotency-Key"), router, apply)
+		key := r.Header.Get("Idempotency-Key")
+		applied := s.ingest(endpoint, key, router, apply)
+		if key != "" && trace.Enabled() {
+			status := trace.StatusOK
+			if !applied {
+				status = trace.StatusDuplicate
+			}
+			s.rec.Finish(&trace.Trace{
+				ID: trace.IDFromKey(key), Router: router, Endpoint: endpoint,
+				Spans: []trace.Span{{
+					Name: "collector.apply", Start: start, End: time.Now(), Status: status,
+				}},
+			})
+		}
 		w.WriteHeader(http.StatusNoContent)
 	}
 }
@@ -451,6 +521,10 @@ type BatchItem struct {
 	Endpoint string          `json:"endpoint"`
 	Key      string          `json:"key"`
 	Body     json.RawMessage `json:"body"`
+	// Trace carries the client's half of the payload's trace — the
+	// gateway export, spool queue-wait, and delivery-attempt spans — so
+	// the server can assemble one end-to-end trace per payload.
+	Trace *trace.Wire `json:"trace,omitempty"`
 }
 
 // BatchResult summarizes one /v1/batch ingestion.
@@ -466,35 +540,121 @@ type BatchResult struct {
 // decode error is a bug, not a retryable condition), and duplicate keys
 // are acknowledged without re-applying.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	decodeStart := time.Now()
 	var items []BatchItem
 	if err := json.NewDecoder(r.Body).Decode(&items); err != nil {
 		s.mDecodeErrs.With("/v1/batch").Inc()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	decodeEnd := time.Now()
+	tracing := trace.Enabled()
+	var traces []*trace.Trace
 	var res BatchResult
 	for _, it := range items {
+		// Pre-sample: decide keep/drop before paying for trace assembly.
+		// Most items are healthy and most healthy traces are sampled away,
+		// so on the hot path only the hashed sampling decision runs per
+		// item (zero allocations when it says skip); the trace itself is
+		// built eagerly when WantTraceKey says keep, or lazily the moment
+		// an item goes wrong.
+		var t *trace.Trace
+		var lazyKey string
+		if tracing && it.Key != "" {
+			var wire []trace.Span
+			if it.Trace != nil {
+				wire = it.Trace.Spans
+			}
+			if s.rec.WantTraceKey(it.Key, wire, decodeEnd) {
+				t = itemTrace(trace.IDFromKey(it.Key), it.Trace, it.Endpoint, decodeStart, decodeEnd)
+				traces = append(traces, t)
+			} else {
+				lazyKey = it.Key
+			}
+		}
 		af := s.appliers[it.Endpoint]
 		if af == nil {
 			s.mDecodeErrs.With("/v1/batch").Inc()
 			res.Rejected++
+			t = lazyTrace(t, lazyKey, it.Trace, it.Endpoint, decodeStart, decodeEnd, &traces)
+			addApply(t, decodeEnd, trace.StatusRejected, "unknown endpoint")
 			continue
 		}
+		applyStart := time.Now()
 		router, apply, err := af(it.Body)
 		if err != nil {
 			s.mDecodeErrs.With(it.Endpoint).Inc()
 			res.Rejected++
+			t = lazyTrace(t, lazyKey, it.Trace, it.Endpoint, decodeStart, decodeEnd, &traces)
+			addApply(t, applyStart, trace.StatusRejected, "decode error")
 			continue
 		}
 		s.mItems.With(it.Endpoint).Inc()
 		if s.ingest(it.Endpoint, it.Key, router, apply) {
 			res.Applied++
+			addApply(t, applyStart, trace.StatusOK, "")
+			if t == nil && lazyKey != "" {
+				s.rec.NoteSampledOut()
+			}
 		} else {
 			res.Duplicates++
+			t = lazyTrace(t, lazyKey, it.Trace, it.Endpoint, decodeStart, decodeEnd, &traces)
+			addApply(t, applyStart, trace.StatusDuplicate, "")
 		}
+		if t != nil && t.Router == "" {
+			t.Router = router
+		}
+	}
+	for _, t := range traces {
+		s.rec.Finish(t)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(res)
+}
+
+// itemTrace assembles the server-side trace for one keyed batch item:
+// the client's wire spans plus the shared envelope-decode span, sized in
+// one allocation with room for the apply span to come. Keep is set —
+// the pre-sampler already decided this trace survives, so Finish must
+// not flip the sampling coin again.
+func itemTrace(id string, w *trace.Wire, endpoint string, decodeStart, decodeEnd time.Time) *trace.Trace {
+	t := &trace.Trace{ID: id, Endpoint: endpoint, Keep: true}
+	var wire []trace.Span
+	if w != nil {
+		t.Router = w.Router
+		wire = w.Spans
+	}
+	t.Spans = append(make([]trace.Span, 0, len(wire)+2), wire...)
+	t.Spans = append(t.Spans, trace.Span{
+		Name: "collector.decode", Start: decodeStart, End: decodeEnd,
+	})
+	return t
+}
+
+// lazyTrace builds the trace for an item the pre-sampler skipped once
+// its outcome turns out interesting (rejected or duplicate) — the tail
+// contract says those are never sampled away. No-op when the item is
+// untraced or its trace already exists.
+func lazyTrace(t *trace.Trace, key string, w *trace.Wire, endpoint string, decodeStart, decodeEnd time.Time, traces *[]*trace.Trace) *trace.Trace {
+	if t != nil || key == "" {
+		return t
+	}
+	t = itemTrace(trace.IDFromKey(key), w, endpoint, decodeStart, decodeEnd)
+	*traces = append(*traces, t)
+	return t
+}
+
+// addApply appends the per-item apply span (decode + dedupe + shard
+// mutation) to a batch item's trace. Safe on a nil trace (untraced item).
+func addApply(t *trace.Trace, start time.Time, status, reason string) {
+	if t == nil {
+		return
+	}
+	sp := trace.Span{Name: "collector.apply", Start: start, End: time.Now(), Status: status}
+	if reason != "" {
+		sp.Attrs = []trace.Attr{{K: "reason", V: reason}}
+	}
+	t.Spans = append(t.Spans, sp)
 }
 
 // Close shuts the server down gracefully: the heartbeat socket stops
@@ -613,13 +773,20 @@ type Client struct {
 	hb       *heartbeat.Sender
 	httpc    *http.Client
 	sp       *spool.Spooler
+	rec      *trace.Recorder
 
 	mUploads  *telemetry.CounterVec
 	mFailures *telemetry.CounterVec
 
-	mu      sync.Mutex
-	lastErr error
+	mu       sync.Mutex
+	lastErr  error
+	window   *trace.Span  // open export-window span, nil outside a window
+	attempts []trace.Span // failed delivery attempts since the last ack
 }
+
+// maxAttemptSpans bounds the retained failed-attempt history per batch;
+// a long outage keeps the first few and most recent failures.
+const maxAttemptSpans = 16
 
 // Option tunes a Client.
 type Option func(*clientOptions)
@@ -661,6 +828,7 @@ func NewClient(routerID, country, udpAddr, httpAddr string, opts ...Option) (*Cl
 		baseURL:  "http://" + httpAddr,
 		hb:       hb,
 		httpc:    &http.Client{Timeout: 10 * time.Second, Transport: o.transport},
+		rec:      trace.NewRecorder(trace.Config{Capacity: 256}),
 		mUploads: reg.CounterVec("natpeek_client_uploads_total",
 			"Upload payloads produced by this process's collector clients, per endpoint.", "endpoint"),
 		mFailures: reg.CounterVec("natpeek_client_upload_failures_total",
@@ -701,6 +869,40 @@ func (c *Client) Close() error {
 // Flush blocks until every spooled upload has been acknowledged by the
 // server, or ctx is done.
 func (c *Client) Flush(ctx context.Context) error { return c.sp.Flush(ctx) }
+
+// TraceRecorder exposes the client's local flight recorder: the
+// gateway-side view of each payload's trace, finished when the server
+// acknowledges the batch. Mount it on the gateway's debug listener.
+func (c *Client) TraceRecorder() *trace.Recorder { return c.rec }
+
+// SpoolHealth samples the client's upload queues (depth, oldest age)
+// for ops surfaces.
+func (c *Client) SpoolHealth() []spool.EndpointHealth { return c.sp.Health() }
+
+// BeginExportWindow opens a gateway export window: every payload
+// enqueued before EndExportWindow carries a span for the window, so
+// traces show how long the gateway's measurement pass took before the
+// payload entered the spool. The gateway discovers this method by
+// structural assertion, keeping gateway.Sink unchanged. The span's time
+// axis is wall-clock like every other span; at is the scheduler's
+// notion of the window time (simulated in harness runs) and rides as an
+// attribute.
+func (c *Client) BeginExportWindow(kind string, at time.Time) {
+	if !trace.Enabled() {
+		return
+	}
+	c.mu.Lock()
+	c.window = &trace.Span{Name: "gateway.export", Start: time.Now(),
+		Attrs: []trace.Attr{{K: "kind", V: kind}, {K: "at", V: at.Format(time.RFC3339)}}}
+	c.mu.Unlock()
+}
+
+// EndExportWindow closes the current export window.
+func (c *Client) EndExportWindow(time.Time) {
+	c.mu.Lock()
+	c.window = nil
+	c.mu.Unlock()
+}
 
 // SpoolDepth returns the number of uploads still queued for delivery.
 func (c *Client) SpoolDepth() int { return c.sp.Depth() }
@@ -756,9 +958,30 @@ func (c *Client) post(path string, v any) error {
 // /v1/batch. Any transport error or non-2xx status leaves the batch
 // queued; the server's idempotency keys make the redelivery safe.
 func (c *Client) sendBatch(ctx context.Context, items []spool.Item) error {
+	tracing := trace.Enabled()
+	now := time.Now()
 	payload := make([]BatchItem, len(items))
+	var prior []trace.Span
+	if tracing {
+		c.mu.Lock()
+		prior = append([]trace.Span(nil), c.attempts...)
+		c.mu.Unlock()
+	}
 	for i, it := range items {
 		payload[i] = BatchItem{Endpoint: it.Endpoint, Key: it.Key, Body: it.Body}
+		if tracing && it.Key != "" {
+			w := &trace.Wire{TraceID: trace.IDFromKey(it.Key), Router: c.routerID}
+			w.Spans = append(w.Spans, it.Spans...)
+			if !it.EnqueuedAt.IsZero() {
+				w.Spans = append(w.Spans, trace.Span{Name: "spool.queued", Start: it.EnqueuedAt, End: now})
+			}
+			w.Spans = append(w.Spans, prior...)
+			// Open span: the server sees the in-flight attempt; its own
+			// spans bound when the request actually landed.
+			w.Spans = append(w.Spans, trace.Span{Name: "spool.send", Start: now,
+				Attrs: []trace.Attr{{K: "attempt", V: fmt.Sprint(len(prior) + 1)}}})
+			payload[i].Trace = w
+		}
 	}
 	body, err := json.Marshal(payload)
 	if err != nil {
@@ -769,16 +992,73 @@ func (c *Client) sendBatch(ctx context.Context, items []spool.Item) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tracing {
+		for i := range payload {
+			if payload[i].Trace != nil {
+				req.Header.Set("Traceparent", trace.FormatTraceparent(payload[i].Trace.TraceID))
+				break
+			}
+		}
+	}
 	resp, err := c.httpc.Do(req)
 	if err != nil {
+		c.recordAttempt(now, trace.StatusError, err.Error())
 		return c.failBatch(items, fmt.Errorf("collector: POST /v1/batch: %w", err))
 	}
 	msg := drainBody(resp)
 	resp.Body.Close()
 	if resp.StatusCode >= 300 {
+		status := trace.StatusError
+		if resp.StatusCode == http.StatusTooManyRequests {
+			status = trace.StatusThrottled
+		}
+		c.recordAttempt(now, status, fmt.Sprintf("status %d", resp.StatusCode))
 		return c.failBatch(items, fmt.Errorf("collector: POST /v1/batch: status %d: %s", resp.StatusCode, msg))
 	}
+	if tracing {
+		c.finishBatchTraces(payload, time.Now())
+	}
 	return nil
+}
+
+// recordAttempt remembers one failed delivery attempt; the history rides
+// on the next retry's wire spans so the server-assembled trace shows
+// every backoff round, and on the client's local trace at ack time.
+func (c *Client) recordAttempt(start time.Time, status, detail string) {
+	if !trace.Enabled() {
+		return
+	}
+	sp := trace.Span{Name: "spool.attempt", Start: start, End: time.Now(), Status: status,
+		Attrs: []trace.Attr{{K: "detail", V: detail}}}
+	c.mu.Lock()
+	if len(c.attempts) < maxAttemptSpans {
+		c.attempts = append(c.attempts, sp)
+	} else {
+		c.attempts[len(c.attempts)-1] = sp // keep the most recent failure
+	}
+	c.mu.Unlock()
+}
+
+// finishBatchTraces completes the client-side trace for every item the
+// server just acknowledged and clears the attempt history.
+func (c *Client) finishBatchTraces(payload []BatchItem, end time.Time) {
+	c.mu.Lock()
+	c.attempts = nil
+	c.mu.Unlock()
+	for i := range payload {
+		w := payload[i].Trace
+		if w == nil {
+			continue
+		}
+		t := &trace.Trace{ID: w.TraceID, Router: c.routerID, Endpoint: payload[i].Endpoint}
+		t.Spans = append(t.Spans, w.Spans...)
+		for j := range t.Spans {
+			if t.Spans[j].Name == "spool.send" && t.Spans[j].End.IsZero() {
+				t.Spans[j].End = end
+			}
+		}
+		c.rec.Finish(t)
+	}
 }
 
 func (c *Client) failBatch(items []spool.Item, err error) error {
@@ -795,7 +1075,8 @@ func (c *Client) failBatch(items []spool.Item, err error) error {
 	return err
 }
 
-// enqueue spools one measurement payload for background delivery.
+// enqueue spools one measurement payload for background delivery,
+// stamping it with the open export-window span when one is active.
 func (c *Client) enqueue(path string, v any) {
 	c.mUploads.With(path).Inc()
 	body, err := json.Marshal(v)
@@ -803,7 +1084,17 @@ func (c *Client) enqueue(path string, v any) {
 		_ = c.fail(path, err)
 		return
 	}
-	c.sp.Enqueue(path, body)
+	var spans []trace.Span
+	if trace.Enabled() {
+		c.mu.Lock()
+		if c.window != nil {
+			sp := *c.window
+			sp.End = time.Now()
+			spans = []trace.Span{sp}
+		}
+		c.mu.Unlock()
+	}
+	c.sp.EnqueueSpans(path, body, spans)
 }
 
 // Heartbeat implements gateway.Sink. Errors are dropped by design —

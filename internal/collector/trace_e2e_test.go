@@ -1,0 +1,220 @@
+package collector
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"natpeek/internal/dataset"
+	"natpeek/internal/spool"
+	"natpeek/internal/trace"
+)
+
+// spanNames collects the set of span names on a trace.
+func spanNames(tr *trace.Trace) map[string]int {
+	out := make(map[string]int)
+	for _, sp := range tr.Spans {
+		out[sp.Name]++
+	}
+	return out
+}
+
+// TestDroppedThenRetriedBatchIsOneTrace pins the tentpole acceptance
+// scenario: a batch whose first delivery attempts die on the wire (spool
+// blackout) must be retrievable afterwards as a SINGLE end-to-end trace
+// — gateway export window, spool queueing, the failed attempts, the
+// successful send, and the collector's decode/apply — because the trace
+// ID is derived from the idempotency key and every redelivery joins it.
+func TestDroppedThenRetriedBatchIsOneTrace(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	srv.SetTraceSampling(0, 0) // only error/slow/throttled kept: the retried batch must qualify
+
+	ft := spool.NewFaultTransport(nil, 0, 1)
+	cli, err := NewClient("router-e2e", "US", srv.UDPAddr(), srv.HTTPAddr(),
+		WithTransport(ft),
+		WithSpool(spool.Config{RetryMin: 10 * time.Millisecond, RetryMax: 50 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+
+	// Outage starts after registration; the upload below is generated
+	// inside an export window, spooled, and repeatedly dropped.
+	ft.SetBlackout(true)
+	cli.BeginExportWindow("census", t0)
+	cli.UptimeReport(dataset.UptimeReport{RouterID: "router-e2e", ReportedAt: t0, Uptime: time.Hour})
+	cli.EndExportWindow(t0)
+	waitFor(t, func() bool { return ft.Injected() >= 2 })
+
+	ft.SetBlackout(false)
+	flush(t, cli)
+
+	traces := srv.TraceRecorder().Traces(trace.Filter{Endpoint: "/v1/uptime"})
+	if len(traces) != 1 {
+		t.Fatalf("server traces for /v1/uptime = %d, want 1 (retries must merge, not fork)", len(traces))
+	}
+	tr := traces[0]
+	names := spanNames(tr)
+	for _, want := range []string{"gateway.export", "spool.queued", "spool.attempt", "spool.send",
+		"collector.decode", "collector.apply"} {
+		if names[want] == 0 {
+			t.Fatalf("trace missing %q span; got %v", want, names)
+		}
+	}
+	if names["spool.attempt"] < 1 {
+		t.Fatalf("no failed-attempt spans survived the retry: %v", names)
+	}
+	var sawInjected bool
+	for _, sp := range tr.Spans {
+		if sp.Name == "spool.attempt" && sp.Status == trace.StatusError {
+			sawInjected = true
+		}
+	}
+	if !sawInjected {
+		t.Fatalf("no error-status attempt span recorded: %+v", tr.Spans)
+	}
+
+	// The client's local recorder finished the same trace ID: both ends
+	// of the pipeline agree on the payload's identity.
+	if _, ok := cli.TraceRecorder().Get(tr.ID); !ok {
+		t.Fatalf("client recorder has no trace %s", tr.ID)
+	}
+
+	// And the operator path works: /debug/traces/{id} serves the story.
+	resp, err := http.Get("http://" + srv.HTTPAddr() + "/debug/traces/" + tr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got trace.Trace
+	err = json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if err != nil || got.ID != tr.ID {
+		t.Fatalf("GET /debug/traces/%s: err=%v id=%q", tr.ID, err, got.ID)
+	}
+	resp, err = http.Get("http://" + srv.HTTPAddr() + "/debug/traces/" + tr.ID + "?format=waterfall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(wf), "spool.attempt") || !strings.Contains(string(wf), "collector.apply") {
+		t.Fatalf("waterfall missing spans:\n%s", wf)
+	}
+}
+
+// TestThrottledUploadIsOneTraceWithCorrelation pins the 429 story: a
+// throttled upload's rejection is correlated back to the client via the
+// X-Natpeek-Trace header and response body, and once the retry lands the
+// finished trace contains the throttle span next to the apply span — one
+// trace covering both the shed and the success.
+func TestThrottledUploadIsOneTraceWithCorrelation(t *testing.T) {
+	srv, _ := startPair(t)
+	srv.SetMaxInflight(1)
+	srv.SetTraceSampling(0, 0) // the throttled trace must be kept by status alone
+
+	// Hold the single admission slot with a never-finishing body.
+	pr, pw := io.Pipe()
+	blocked := make(chan struct{})
+	go func() {
+		defer close(blocked)
+		req, _ := http.NewRequest(http.MethodPost, "http://"+srv.HTTPAddr()+"/v1/uptime", pr)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	pw.Write([]byte(`{"RouterID":`))
+
+	key := "router-1:e2e-throttle:1"
+	traceID := trace.IDFromKey(key)
+	body, _ := json.Marshal(dataset.UptimeReport{RouterID: "router-1", ReportedAt: t0, Uptime: time.Hour})
+	post := func() *http.Response {
+		req, err := http.NewRequest(http.MethodPost, "http://"+srv.HTTPAddr()+"/v1/uptime", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Idempotency-Key", key)
+		req.Header.Set("Traceparent", trace.FormatTraceparent(traceID))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	var throttled bool
+	waitFor(t, func() bool {
+		resp := post()
+		rbody, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			return false
+		}
+		if got := resp.Header.Get("X-Natpeek-Trace"); got != traceID {
+			t.Fatalf("X-Natpeek-Trace = %q, want %q", got, traceID)
+		}
+		if !strings.Contains(string(rbody), traceID) {
+			t.Fatalf("429 body does not name the trace: %q", rbody)
+		}
+		throttled = true
+		return true
+	})
+	if !throttled {
+		t.Fatal("never throttled")
+	}
+
+	// Free the slot; the retried upload must land.
+	pw.Close()
+	<-blocked
+	waitFor(t, func() bool {
+		resp := post()
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusNoContent
+	})
+
+	tr, ok := srv.TraceRecorder().Get(traceID)
+	if !ok {
+		t.Fatalf("throttled trace %s not in recorder", traceID)
+	}
+	names := spanNames(tr)
+	if names["collector.throttle"] == 0 || names["collector.apply"] == 0 {
+		t.Fatalf("trace spans = %v, want throttle + apply in one trace", names)
+	}
+	if tr.Status != trace.StatusThrottled {
+		t.Fatalf("trace status = %q, want %q (worst span wins)", tr.Status, trace.StatusThrottled)
+	}
+
+	// The successful POST carried the trace ID into a latency exemplar.
+	resp, err := http.Get("http://" + srv.HTTPAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(prom), "# EXEMPLAR natpeek_http_request_seconds_bucket") ||
+		!strings.Contains(string(prom), "trace_id="+traceID) {
+		t.Fatal("/metrics missing the request-latency exemplar for the traced upload")
+	}
+
+	// The live ops view renders against the same recorder.
+	resp, err = http.Get("http://" + srv.HTTPAddr() + "/pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(page), "/v1/uptime") {
+		t.Fatalf("/pipeline status=%d, endpoint row missing:\n%s", resp.StatusCode, page)
+	}
+}

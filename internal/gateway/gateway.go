@@ -47,6 +47,27 @@ type Sink interface {
 	TrafficThroughput(samples []dataset.ThroughputSample)
 }
 
+// windowSink is the optional tracing extension of Sink: a sink that
+// wants export-window context around each measurement pass implements
+// it (collector.Client does; the simulator's in-memory sink does not).
+// Discovering it structurally keeps Sink — and every existing
+// implementation — unchanged.
+type windowSink interface {
+	BeginExportWindow(kind string, at time.Time)
+	EndExportWindow(at time.Time)
+}
+
+// exportWindow brackets one measurement pass for sinks that trace.
+// It returns the close function; callers defer it.
+func (a *Agent) exportWindow(kind string, now time.Time) func() {
+	ws, ok := a.sink.(windowSink)
+	if !ok {
+		return func() {}
+	}
+	ws.BeginExportWindow(kind, now)
+	return func() { ws.EndExportWindow(now) }
+}
+
 // Config tunes an agent.
 type Config struct {
 	ID        string
@@ -285,6 +306,7 @@ func (a *Agent) sendHeartbeat(now time.Time) {
 // anonymized per-device sightings.
 func (a *Agent) census(now time.Time) {
 	a.mRuns.census.Inc()
+	defer a.exportWindow("census", now)()
 	count := dataset.DeviceCount{
 		RouterID: a.cfg.ID,
 		At:       now,
@@ -318,6 +340,7 @@ func (a *Agent) census(now time.Time) {
 // scan surveys both radios' channels, throttling when clients are
 // associated (the §3.2.2 disassociation side effect).
 func (a *Agent) scan(now time.Time) {
+	defer a.exportWindow("scan", now)()
 	var scans []dataset.WiFiScan
 	for i, r := range []*wifi.Radio{a.env.Radio24, a.env.Radio5} {
 		if r == nil {
@@ -351,6 +374,7 @@ func (a *Agent) scan(now time.Time) {
 // flushes consented traffic data.
 func (a *Agent) report(sched *eventsim.Scheduler, now time.Time) {
 	a.mRuns.report.Inc()
+	defer a.exportWindow("report", now)()
 	a.sink.UptimeReport(dataset.UptimeReport{
 		RouterID:   a.cfg.ID,
 		ReportedAt: now,
@@ -521,6 +545,7 @@ func (a *Agent) finalFlush(now time.Time) {
 	if !a.cfg.TrafficConsent {
 		return
 	}
+	defer a.exportWindow("final-flush", now)()
 	a.monitor.ExpireFlows(now)
 	a.monitor.FinishAll()
 	a.exportFinished(a.monitor.TakeThroughput)

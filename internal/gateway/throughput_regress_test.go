@@ -69,8 +69,8 @@ func TestThroughputCompleteMinutesExportedPromptly(t *testing.T) {
 		40001, 443, 64, make([]byte, 200))
 
 	at := t0.Add(11 * time.Hour)
-	f.agent.HandleFrame(frame, true, at)                     // minute 0, complete at the flush below
-	f.agent.HandleFrame(frame, true, at.Add(2*time.Minute))  // minute 2, in progress at the flush
+	f.agent.HandleFrame(frame, true, at)                    // minute 0, complete at the flush below
+	f.agent.HandleFrame(frame, true, at.Add(2*time.Minute)) // minute 2, in progress at the flush
 	f.agent.flushTraffic(at.Add(2*time.Minute + 30*time.Second))
 	if n := len(f.sink.samples); n != 1 {
 		t.Fatalf("after mid-minute flush: %d samples, want 1 (only the complete minute)", n)

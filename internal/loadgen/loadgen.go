@@ -37,6 +37,7 @@ import (
 	"natpeek/internal/mac"
 	"natpeek/internal/rng"
 	"natpeek/internal/telemetry"
+	"natpeek/internal/trace"
 )
 
 // Mix weighs the upload endpoints in the generated traffic. Zero-valued
@@ -190,6 +191,27 @@ type Report struct {
 	P50           time.Duration `json:"latency_p50_ns"`
 	P90           time.Duration `json:"latency_p90_ns"`
 	P99           time.Duration `json:"latency_p99_ns"`
+
+	// SlowRows is per-row lineage for the slowest uploads by
+	// generation→ack latency: each carries the trace ID derived from its
+	// idempotency key, so a slow row in the report can be pulled up as a
+	// full waterfall at the collector's /debug/traces/{id}.
+	SlowRows []RowLineage `json:"slow_rows,omitempty"`
+	// ThrottledTraces are server-side trace IDs returned in 429
+	// responses (X-Natpeek-Trace), correlating this run's Retry-After
+	// waits with the collector's throttle spans. Bounded sample.
+	ThrottledTraces []string `json:"throttled_traces,omitempty"`
+}
+
+// RowLineage ties one upload's delivery history to its server-side
+// trace: how long from row generation to acknowledged delivery, and
+// over how many HTTP attempts.
+type RowLineage struct {
+	Key      string        `json:"key"`
+	TraceID  string        `json:"trace_id"`
+	Endpoint string        `json:"endpoint"`
+	Latency  time.Duration `json:"latency_ns"`
+	Attempts int           `json:"attempts"`
 }
 
 // String renders the operator summary bismark-load prints.
@@ -204,6 +226,16 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "  delivery:   applied=%d duplicates=%d rejected=%d retries=%d throttled=%d\n",
 		r.Applied, r.Duplicates, r.Rejected, r.Retries, r.Throttled)
 	fmt.Fprintf(&b, "  accounting: lost rows = %d\n", r.Lost)
+	for i, row := range r.SlowRows {
+		if i >= 5 {
+			break
+		}
+		fmt.Fprintf(&b, "  slow row:   %s %s %v over %d attempt(s), trace %s\n",
+			row.Endpoint, row.Key, row.Latency.Round(time.Millisecond), row.Attempts, row.TraceID)
+	}
+	if len(r.ThrottledTraces) > 0 {
+		fmt.Fprintf(&b, "  429 traces: %s\n", strings.Join(r.ThrottledTraces, " "))
+	}
 	return b.String()
 }
 
@@ -213,6 +245,15 @@ type upload struct {
 	key      string
 	body     json.RawMessage
 	direct   bool
+	genAt    time.Time // row generation time; lineage measures genAt→ack
+}
+
+// router extracts the router ID from the upload's key ("id:nonce:seq").
+func (u upload) router() string {
+	if i := strings.IndexByte(u.key, ':'); i > 0 {
+		return u.key[:i]
+	}
+	return ""
 }
 
 type runner struct {
@@ -232,9 +273,11 @@ type runner struct {
 	duplicates atomic.Int64
 	rejected   atomic.Int64
 
-	mu        sync.Mutex
-	latencies []time.Duration
-	firstErr  error
+	mu              sync.Mutex
+	latencies       []time.Duration
+	firstErr        error
+	slow            []RowLineage // sorted by Latency descending, capped
+	throttledTraces []string
 
 	hLatency *telemetry.Histogram
 	mRows    *telemetry.CounterVec
@@ -491,8 +534,8 @@ func (r *runner) payload(gen *generator, id string, router, cycle, seq int, stre
 		samples := make([]dataset.ThroughputSample, cfg.SamplesPerPayload)
 		for j := range samples {
 			samples[j] = dataset.ThroughputSample{RouterID: id,
-				Minute: at.Add(time.Duration(j) * time.Minute),
-				Dir:    []string{"up", "down"}[j%2],
+				Minute:  at.Add(time.Duration(j) * time.Minute),
+				Dir:     []string{"up", "down"}[j%2],
 				PeakBps: stream.Range(1e4, 1e8), TotalBytes: stream.Int63() % 1e8}
 		}
 		v = samples
@@ -508,6 +551,7 @@ func (r *runner) payload(gen *generator, id string, router, cycle, seq int, stre
 		key:      id + ":" + r.nonce + ":" + strconv.Itoa(seq),
 		body:     body,
 		direct:   stream.Bool(cfg.DirectFraction),
+		genAt:    time.Now(),
 	}, rows, nil
 }
 
@@ -546,18 +590,19 @@ func (r *runner) fail(err error) {
 // retryLoop POSTs with at-least-once semantics: transport errors, 5xx,
 // and 429 retry with exponential backoff (429's Retry-After is honored,
 // capped at the max backoff); 4xx other than 429 is a generator bug and
-// fails the run. The response body is returned for result accounting.
-func (r *runner) retryLoop(ctx context.Context, mk func() (*http.Request, error)) ([]byte, bool) {
+// fails the run. It returns the response body for result accounting and
+// the number of HTTP attempts made (for per-row lineage).
+func (r *runner) retryLoop(ctx context.Context, mk func() (*http.Request, error)) ([]byte, int, bool) {
 	backoff := 10 * time.Millisecond
 	const maxBackoff = 2 * time.Second
 	for attempt := 0; ; attempt++ {
 		if ctx.Err() != nil {
-			return nil, false
+			return nil, attempt, false
 		}
 		req, err := mk()
 		if err != nil {
 			r.fail(err)
-			return nil, false
+			return nil, attempt, false
 		}
 		start := time.Now()
 		resp, err := r.httpc.Do(req.WithContext(ctx))
@@ -575,9 +620,10 @@ func (r *runner) retryLoop(ctx context.Context, mk func() (*http.Request, error)
 			resp.Body.Close()
 			switch {
 			case resp.StatusCode < 300 && rerr == nil:
-				return body, true
+				return body, attempt + 1, true
 			case resp.StatusCode == http.StatusTooManyRequests:
 				r.throttled.Add(1)
+				r.noteThrottledTrace(resp.Header.Get("X-Natpeek-Trace"))
 				if ra, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && ra >= 0 {
 					if d := time.Duration(ra) * time.Second; d < maxBackoff && d > wait {
 						wait = d
@@ -586,7 +632,7 @@ func (r *runner) retryLoop(ctx context.Context, mk func() (*http.Request, error)
 			case resp.StatusCode >= 300 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests:
 				r.fail(fmt.Errorf("loadgen: %s: status %d: %s", req.URL.Path, resp.StatusCode,
 					strings.TrimSpace(string(body))))
-				return nil, false
+				return nil, attempt + 1, false
 			}
 			// 5xx (and read errors): fall through to retry.
 		}
@@ -594,7 +640,7 @@ func (r *runner) retryLoop(ctx context.Context, mk func() (*http.Request, error)
 		select {
 		case <-time.After(wait):
 		case <-ctx.Done():
-			return nil, false
+			return nil, attempt + 1, false
 		}
 		if backoff < maxBackoff {
 			backoff *= 2
@@ -602,20 +648,78 @@ func (r *runner) retryLoop(ctx context.Context, mk func() (*http.Request, error)
 	}
 }
 
+// maxSlowRows / maxThrottledTraces bound the lineage carried in the
+// report: enough to chase the worst offenders, not a per-row ledger.
+const (
+	maxSlowRows        = 10
+	maxThrottledTraces = 8
+)
+
+// noteThrottledTrace samples server trace IDs from 429 responses.
+func (r *runner) noteThrottledTrace(id string) {
+	if id == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.throttledTraces) >= maxThrottledTraces {
+		return
+	}
+	for _, seen := range r.throttledTraces {
+		if seen == id {
+			return
+		}
+	}
+	r.throttledTraces = append(r.throttledTraces, id)
+}
+
+// recordLineage folds acknowledged uploads into the top-N slowest set.
+func (r *runner) recordLineage(ups []upload, ackAt time.Time, attempts int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, up := range ups {
+		lat := ackAt.Sub(up.genAt)
+		if len(r.slow) >= maxSlowRows && lat <= r.slow[len(r.slow)-1].Latency {
+			continue
+		}
+		r.slow = append(r.slow, RowLineage{
+			Key: up.key, TraceID: trace.IDFromKey(up.key),
+			Endpoint: up.endpoint, Latency: lat, Attempts: attempts,
+		})
+		sort.Slice(r.slow, func(i, j int) bool { return r.slow[i].Latency > r.slow[j].Latency })
+		if len(r.slow) > maxSlowRows {
+			r.slow = r.slow[:maxSlowRows]
+		}
+	}
+}
+
 func (r *runner) postBatch(ctx context.Context, ups []upload) {
+	now := time.Now()
 	items := make([]collector.BatchItem, len(ups))
 	for i, up := range ups {
 		items[i] = collector.BatchItem{Endpoint: up.endpoint, Key: up.key, Body: up.body}
+		if trace.Enabled() {
+			// Client-side lineage: the queued span covers generation →
+			// first POST; retries re-ship the same spans and merge
+			// server-side by trace ID.
+			items[i].Trace = &trace.Wire{
+				TraceID: trace.IDFromKey(up.key),
+				Router:  up.router(),
+				Spans: []trace.Span{{Name: "loadgen.queued", Start: up.genAt, End: now,
+					Status: trace.StatusOK}},
+			}
+		}
 	}
 	body, err := json.Marshal(items)
 	if err != nil {
 		r.fail(err)
 		return
 	}
-	resBody, ok := r.retryLoop(ctx, func() (*http.Request, error) {
+	resBody, attempts, ok := r.retryLoop(ctx, func() (*http.Request, error) {
 		req, err := http.NewRequest(http.MethodPost, r.cfg.BaseURL+"/v1/batch", bytes.NewReader(body))
 		if err == nil {
 			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("Traceparent", trace.FormatTraceparent(trace.IDFromKey(ups[0].key)))
 		}
 		return req, err
 	})
@@ -623,6 +727,7 @@ func (r *runner) postBatch(ctx context.Context, ups []upload) {
 		return
 	}
 	r.batches.Add(1)
+	r.recordLineage(ups, time.Now(), attempts)
 	var res collector.BatchResult
 	if err := json.Unmarshal(resBody, &res); err != nil {
 		r.fail(fmt.Errorf("loadgen: batch result: %w", err))
@@ -634,15 +739,17 @@ func (r *runner) postBatch(ctx context.Context, ups []upload) {
 }
 
 func (r *runner) postDirect(ctx context.Context, up upload) {
-	if _, ok := r.retryLoop(ctx, func() (*http.Request, error) {
+	if _, attempts, ok := r.retryLoop(ctx, func() (*http.Request, error) {
 		req, err := http.NewRequest(http.MethodPost, r.cfg.BaseURL+up.endpoint, bytes.NewReader(up.body))
 		if err == nil {
 			req.Header.Set("Content-Type", "application/json")
 			req.Header.Set("Idempotency-Key", up.key)
+			req.Header.Set("Traceparent", trace.FormatTraceparent(trace.IDFromKey(up.key)))
 		}
 		return req, err
 	}); ok {
 		r.applied.Add(1)
+		r.recordLineage([]upload{up}, time.Now(), attempts)
 	}
 }
 
@@ -654,7 +761,7 @@ func (r *runner) register(ctx context.Context, id string) error {
 	if err != nil {
 		return err
 	}
-	if _, ok := r.retryLoop(ctx, func() (*http.Request, error) {
+	if _, _, ok := r.retryLoop(ctx, func() (*http.Request, error) {
 		req, err := http.NewRequest(http.MethodPost, r.cfg.BaseURL+"/v1/register", bytes.NewReader(body))
 		if err == nil {
 			req.Header.Set("Content-Type", "application/json")
@@ -723,6 +830,8 @@ func (r *runner) report(gen *generator, before, after collector.Stats, dur time.
 	}
 	r.mu.Lock()
 	lats := r.latencies
+	rep.SlowRows = r.slow
+	rep.ThrottledTraces = r.throttledTraces
 	r.mu.Unlock()
 	if len(lats) > 0 {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })

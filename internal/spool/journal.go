@@ -33,12 +33,16 @@ type record struct {
 // under its mutex. Write errors disable the journal (the spool degrades
 // to in-memory) rather than failing the measurement path.
 type journal struct {
-	path string
-	f    *os.File
-	w    *bufio.Writer
-	acks int
-	err  error
+	path  string
+	f     *os.File
+	w     *bufio.Writer
+	acks  int
+	bytes int64 // current file size, for the journal-size gauge
+	err   error
 }
+
+// size returns the journal's current on-disk size in bytes.
+func (j *journal) size() int64 { return j.bytes }
 
 // openJournal opens (creating if needed) dir's journal and returns the
 // undelivered items found in it, in original enqueue order.
@@ -146,6 +150,9 @@ func (j *journal) rewrite(items []Item) error {
 	j.f = f
 	j.w = bufio.NewWriter(f)
 	j.acks = 0
+	if fi, err := f.Stat(); err == nil {
+		j.bytes = fi.Size()
+	}
 	return nil
 }
 
@@ -162,7 +169,9 @@ func (j *journal) append(r record) {
 	}
 	if err != nil {
 		j.err = err // degrade to in-memory; Close surfaces the error
+		return
 	}
+	j.bytes += int64(len(b)) + 1
 }
 
 func (j *journal) put(it Item) { j.append(record{Op: "put", Item: &it}) }

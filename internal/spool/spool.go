@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"natpeek/internal/telemetry"
+	"natpeek/internal/trace"
 )
 
 // Item is one queued payload awaiting delivery.
@@ -43,6 +44,13 @@ type Item struct {
 	Body json.RawMessage `json:"body"`
 	// Seq orders items within their endpoint queue (monotonic per run).
 	Seq uint64 `json:"seq"`
+	// EnqueuedAt timestamps admission into the spool; the drainer turns
+	// it into the trace's queue-wait span. Zero for pre-tracing journals.
+	EnqueuedAt time.Time `json:"enqueued_at,omitzero"`
+	// Spans carries trace history accumulated before the item reached the
+	// spool (e.g. the gateway's export-window span). Shipped to the
+	// collector with the item so the server can assemble the full trace.
+	Spans []trace.Span `json:"spans,omitempty"`
 }
 
 // Sender delivers one batch of items. A nil error acknowledges the whole
@@ -116,12 +124,15 @@ type Spooler struct {
 	done chan struct{}
 	dead chan struct{} // closed when the drainer exits
 
-	mEnqueued *telemetry.CounterVec
-	mSent     *telemetry.CounterVec
-	mDropped  *telemetry.CounterVec
-	mRetries  *telemetry.Counter
-	mBatches  *telemetry.Counter
-	gDepth    *telemetry.Gauge
+	mEnqueued  *telemetry.CounterVec
+	mSent      *telemetry.CounterVec
+	mDropped   *telemetry.CounterVec
+	mRetries   *telemetry.Counter
+	mBatches   *telemetry.Counter
+	gDepth     *telemetry.Gauge
+	gDepthVec  *telemetry.GaugeVec
+	gOldestAge *telemetry.GaugeVec
+	gJournal   *telemetry.Gauge
 }
 
 // New starts a spooler whose drainer delivers batches through send. If
@@ -152,6 +163,12 @@ func New(cfg Config, send Sender) (*Spooler, error) {
 			"Successfully delivered batches."),
 		gDepth: reg.Gauge("natpeek_spool_depth",
 			"Payloads currently queued across all spools in this process."),
+		gDepthVec: reg.GaugeVec("natpeek_spool_queue_depth",
+			"Payloads currently queued, per endpoint.", "endpoint"),
+		gOldestAge: reg.GaugeVec("natpeek_spool_oldest_age_seconds",
+			"Age of the oldest queued payload, per endpoint (0 when the queue is empty).", "endpoint"),
+		gJournal: reg.Gauge("natpeek_spool_journal_bytes",
+			"Size of the on-disk spool journal, in bytes (0 without a journal)."),
 	}
 	if cfg.Dir != "" {
 		j, items, err := openJournal(cfg.Dir)
@@ -163,8 +180,75 @@ func New(cfg Config, send Sender) (*Spooler, error) {
 			s.recover(it)
 		}
 	}
+	s.mu.Lock()
+	s.updateHealthLocked(time.Now())
+	s.mu.Unlock()
 	go s.drain()
+	go s.healthLoop()
 	return s, nil
+}
+
+// healthLoop refreshes the health gauges once a second so oldest-entry
+// ages stay current even while the queues are quiet.
+func (s *Spooler) healthLoop() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			s.updateHealthLocked(time.Now())
+			s.mu.Unlock()
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// updateHealthLocked refreshes the per-endpoint depth and oldest-age
+// gauges plus the journal size. Callers hold s.mu.
+func (s *Spooler) updateHealthLocked(now time.Time) {
+	for _, ep := range s.order {
+		q := s.queues[ep]
+		s.gDepthVec.With(ep).Set(float64(len(q.items)))
+		age := 0.0
+		if len(q.items) > 0 && !q.items[0].EnqueuedAt.IsZero() {
+			age = now.Sub(q.items[0].EnqueuedAt).Seconds()
+		}
+		s.gOldestAge.With(ep).Set(age)
+	}
+	if s.journal != nil {
+		s.gJournal.Set(float64(s.journal.size()))
+	}
+}
+
+// EndpointHealth is a point-in-time sample of one endpoint queue, for
+// ops surfaces that want live values rather than a metrics scrape.
+type EndpointHealth struct {
+	Endpoint  string
+	Depth     int
+	OldestAge time.Duration
+}
+
+// Health samples every endpoint queue.
+func (s *Spooler) Health() []EndpointHealth {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]EndpointHealth, 0, len(s.order))
+	for _, ep := range s.order {
+		q := s.queues[ep]
+		h := EndpointHealth{Endpoint: ep, Depth: len(q.items)}
+		if len(q.items) > 0 && !q.items[0].EnqueuedAt.IsZero() {
+			h.OldestAge = now.Sub(q.items[0].EnqueuedAt)
+		}
+		out = append(out, h)
+	}
+	return out
 }
 
 // recover re-queues one journaled item, keeping its original key (so a
@@ -195,6 +279,14 @@ func (s *Spooler) queue(endpoint string) *queue {
 // Enqueue accepts one payload for eventual delivery. It never blocks: a
 // full queue drops its oldest item (counted) to make room.
 func (s *Spooler) Enqueue(endpoint string, body []byte) {
+	s.EnqueueSpans(endpoint, body, nil)
+}
+
+// EnqueueSpans is Enqueue with trace history: spans accumulated before
+// the payload reached the spool (the gateway's export-window span) ride
+// along to the collector, which folds them into the end-to-end trace.
+func (s *Spooler) EnqueueSpans(endpoint string, body []byte, spans []trace.Span) {
+	now := time.Now()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -202,10 +294,12 @@ func (s *Spooler) Enqueue(endpoint string, body []byte) {
 	}
 	q := s.queue(endpoint)
 	it := Item{
-		Endpoint: endpoint,
-		Seq:      q.seq,
-		Key:      fmt.Sprintf("%s:%s:%s:%d", s.cfg.KeyPrefix, s.nonce, endpoint, q.seq),
-		Body:     append(json.RawMessage(nil), body...),
+		Endpoint:   endpoint,
+		Seq:        q.seq,
+		Key:        fmt.Sprintf("%s:%s:%s:%d", s.cfg.KeyPrefix, s.nonce, endpoint, q.seq),
+		Body:       append(json.RawMessage(nil), body...),
+		EnqueuedAt: now,
+		Spans:      spans,
 	}
 	q.seq++
 	if len(q.items) >= s.cfg.Capacity {
@@ -225,6 +319,7 @@ func (s *Spooler) Enqueue(endpoint string, body []byte) {
 	if s.journal != nil {
 		s.journal.put(it)
 	}
+	s.updateHealthLocked(now)
 	s.mu.Unlock()
 	s.kick()
 }
@@ -287,6 +382,7 @@ func (s *Spooler) ack(items []Item) {
 		s.depth -= n
 		s.gDepth.Add(float64(-n))
 	}
+	s.updateHealthLocked(time.Now())
 }
 
 // drain is the background delivery loop.

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"natpeek/internal/telemetry"
+	"natpeek/internal/trace"
 )
 
 // fastRetry keeps test backoffs tiny so retry loops converge quickly.
@@ -518,5 +519,88 @@ func TestSpoolSurvivesBlackoutViaFaultTransport(t *testing.T) {
 	defer mu.Unlock()
 	if sent != 6 {
 		t.Fatalf("sent %d items after blackout, want 6", sent)
+	}
+}
+
+func TestHealthGaugesAndSpans(t *testing.T) {
+	rec := &recorder{}
+	rec.setFail(true) // hold items in the queue so health is observable
+	s, err := New(fastRetry(Config{KeyPrefix: "gw-h", Capacity: 16}), rec.send)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	spans := []trace.Span{{Name: "gateway.export", Start: time.Now().Add(-time.Second), End: time.Now()}}
+	s.EnqueueSpans("/v1/uptime", body(1), spans)
+	s.Enqueue("/v1/uptime", body(2))
+	s.Enqueue("/v1/wifi", body(3))
+
+	h := s.Health()
+	byEp := make(map[string]EndpointHealth)
+	for _, e := range h {
+		byEp[e.Endpoint] = e
+	}
+	if byEp["/v1/uptime"].Depth != 2 || byEp["/v1/wifi"].Depth != 1 {
+		t.Fatalf("health depths wrong: %+v", h)
+	}
+	if byEp["/v1/uptime"].OldestAge <= 0 {
+		t.Fatalf("oldest age not tracked: %+v", byEp["/v1/uptime"])
+	}
+	if g := telemetry.Default.GaugeVec("natpeek_spool_queue_depth", "", "endpoint"); g.With("/v1/uptime").Value() != 2 {
+		t.Fatalf("depth gauge = %v, want 2", g.With("/v1/uptime").Value())
+	}
+
+	// Items carry their enqueue time and prior spans to the sender.
+	items := s.take()
+	var found *Item
+	for i := range items {
+		if string(items[i].Body) == string(body(1)) {
+			found = &items[i]
+		}
+	}
+	if found == nil || found.EnqueuedAt.IsZero() {
+		t.Fatalf("EnqueuedAt not stamped: %+v", found)
+	}
+	if len(found.Spans) != 1 || found.Spans[0].Name != "gateway.export" {
+		t.Fatalf("spans not carried: %+v", found.Spans)
+	}
+
+	rec.setFail(false)
+	mustFlush(t, s)
+	if g := telemetry.Default.GaugeVec("natpeek_spool_queue_depth", "", "endpoint"); g.With("/v1/uptime").Value() != 0 {
+		t.Fatalf("depth gauge after flush = %v, want 0", g.With("/v1/uptime").Value())
+	}
+}
+
+func TestJournalBytesGaugeAndSpanRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rec := &recorder{}
+	rec.setFail(true)
+	s, err := New(fastRetry(Config{KeyPrefix: "gw-j", Dir: dir}), rec.send)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := []trace.Span{{Name: "gateway.export", Start: time.Unix(100, 0).UTC(), End: time.Unix(101, 0).UTC()}}
+	s.EnqueueSpans("/v1/uptime", body(1), spans)
+	if g := telemetry.Default.Gauge("natpeek_spool_journal_bytes", ""); g.Value() <= 0 {
+		t.Fatalf("journal bytes gauge = %v, want > 0", g.Value())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Spans and enqueue times survive a restart via the journal.
+	s2, err := New(fastRetry(Config{KeyPrefix: "gw-j", Dir: dir}), rec.send)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	items := s2.take()
+	if len(items) != 1 {
+		t.Fatalf("recovered %d items, want 1", len(items))
+	}
+	if items[0].EnqueuedAt.IsZero() || len(items[0].Spans) != 1 || items[0].Spans[0].Name != "gateway.export" {
+		t.Fatalf("trace context lost across restart: %+v", items[0])
 	}
 }

@@ -34,8 +34,18 @@ type DebugServer struct {
 // StartDebug serves /metrics and pprof on addr ("127.0.0.1:0" for an
 // ephemeral port). nil reg means Default.
 func StartDebug(addr string, reg *Registry) (*DebugServer, error) {
+	return StartDebugWith(addr, reg, nil)
+}
+
+// StartDebugWith is StartDebug with a mount hook: mount (if non-nil) is
+// called with the mux before the listener starts, so callers can add
+// their own endpoints (trace viewers, ops pages) to the debug server.
+func StartDebugWith(addr string, reg *Registry, mount func(*http.ServeMux)) (*DebugServer, error) {
 	mux := http.NewServeMux()
 	RegisterDebug(mux, reg)
+	if mount != nil {
+		mount(mux)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: debug listen %s: %w", addr, err)

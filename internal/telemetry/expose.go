@@ -111,7 +111,7 @@ func (m *metric) write(w io.Writer) error {
 }
 
 func writeHistogram(w io.Writer, name, labels string, s HistogramSnapshot) error {
-	for _, b := range s.Buckets {
+	for i, b := range s.Buckets {
 		le := "+Inf"
 		if !math.IsInf(b.UpperBound, 1) {
 			le = formatValue(b.UpperBound)
@@ -123,6 +123,16 @@ func writeHistogram(w io.Writer, name, labels string, s HistogramSnapshot) error
 		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, le, b.Count); err != nil {
 			return err
 		}
+		// Exemplars ride as comment lines (ignored by Prometheus text
+		// parsers, greppable by humans): the trace behind the bucket.
+		if i < len(s.Exemplars) && s.Exemplars[i] != nil {
+			e := s.Exemplars[i]
+			if _, err := fmt.Fprintf(w, "# EXEMPLAR %s_bucket{%s%sle=%q} %s trace_id=%s ts=%s\n",
+				name, labels, sep, le, formatValue(e.Value), e.TraceID,
+				e.At.UTC().Format("2006-01-02T15:04:05.000Z07:00")); err != nil {
+				return err
+			}
+		}
 	}
 	suffix := ""
 	if labels != "" {
@@ -131,8 +141,18 @@ func writeHistogram(w io.Writer, name, labels string, s HistogramSnapshot) error
 	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, formatValue(s.Sum)); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, s.Count)
-	return err
+	if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, s.Count); err != nil {
+		return err
+	}
+	// Percentile summary comment: dashboards read p50/p95/p99 straight
+	// off the scrape instead of re-deriving them from buckets.
+	if s.Count > 0 {
+		_, err := fmt.Fprintf(w, "# QUANTILE %s%s p50=%s p95=%s p99=%s\n",
+			name, suffix,
+			formatValue(s.Quantile(0.50)), formatValue(s.Quantile(0.95)), formatValue(s.Quantile(0.99)))
+		return err
+	}
+	return nil
 }
 
 func sortedKeys[V any](m map[string]V) []string {

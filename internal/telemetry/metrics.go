@@ -23,6 +23,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing counter. The zero value is ready
@@ -71,16 +72,30 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // Histogram is a fixed-bucket histogram with an approximate quantile
 // snapshot. Observations are lock-free atomic adds.
 type Histogram struct {
-	bounds []float64 // increasing upper bounds; +Inf bucket is implicit
-	counts []atomic.Uint64
-	count  atomic.Uint64
-	sum    atomic.Uint64 // float64 bits, CAS-updated
+	bounds    []float64 // increasing upper bounds; +Inf bucket is implicit
+	counts    []atomic.Uint64
+	count     atomic.Uint64
+	sum       atomic.Uint64 // float64 bits, CAS-updated
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one observation back to the trace that produced it, so
+// a latency bucket on /metrics is one click away from the end-to-end
+// story behind it (see internal/trace).
+type Exemplar struct {
+	Value   float64
+	TraceID string
+	At      time.Time
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Uint64, len(b)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
 }
 
 // DefBuckets is the default latency bucket layout (seconds).
@@ -103,6 +118,18 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveExemplar records one value and remembers the trace that
+// produced it as the containing bucket's exemplar (last writer wins —
+// the freshest trace is the most debuggable one).
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, At: time.Now()})
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
@@ -120,6 +147,9 @@ type HistogramSnapshot struct {
 	Buckets []Bucket
 	Count   uint64
 	Sum     float64
+	// Exemplars holds, per bucket, the last exemplar observed into it
+	// (nil for buckets with none).
+	Exemplars []*Exemplar
 }
 
 // Snapshot copies the histogram's state. Because observation is
@@ -127,9 +157,10 @@ type HistogramSnapshot struct {
 // approximate, which is fine for monitoring.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
-		Buckets: make([]Bucket, len(h.counts)),
-		Count:   h.count.Load(),
-		Sum:     h.Sum(),
+		Buckets:   make([]Bucket, len(h.counts)),
+		Count:     h.count.Load(),
+		Sum:       h.Sum(),
+		Exemplars: make([]*Exemplar, len(h.counts)),
 	}
 	var cum uint64
 	for i := range h.counts {
@@ -139,6 +170,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 			ub = h.bounds[i]
 		}
 		s.Buckets[i] = Bucket{UpperBound: ub, Count: cum}
+		s.Exemplars[i] = h.exemplars[i].Load()
 	}
 	return s
 }
@@ -256,6 +288,26 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 		v.m[key] = h
 	}
 	return h
+}
+
+// Each visits every histogram in the family in sorted label order. The
+// webui pipeline page uses it to render live per-endpoint percentiles
+// without reaching into the exposition text.
+func (v *HistogramVec) Each(fn func(values []string, h *Histogram)) {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.m))
+	for k := range v.m {
+		keys = append(keys, k)
+	}
+	hists := make([]*Histogram, len(keys))
+	sort.Strings(keys)
+	for i, k := range keys {
+		hists[i] = v.m[k]
+	}
+	v.mu.RUnlock()
+	for i, k := range keys {
+		fn(strings.Split(k, labelSep), hists[i])
+	}
 }
 
 func vecKey(labels, values []string) string {

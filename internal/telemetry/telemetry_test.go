@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bufio"
+	"fmt"
 	"io"
 	"math"
 	"net/http"
@@ -148,6 +149,128 @@ func TestWritePromFormat(t *testing.T) {
 	}
 	if !strings.Contains(text, "# TYPE lat_seconds histogram") {
 		t.Fatalf("missing TYPE header:\n%s", text)
+	}
+}
+
+func TestWritePromQuantileComment(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "", []float64{0.1, 1, 10})
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "# QUANTILE") {
+		t.Fatalf("empty histogram emitted a quantile line:\n%s", sb.String())
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+	}
+	sb.Reset()
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	line := ""
+	for _, l := range strings.Split(text, "\n") {
+		if strings.HasPrefix(l, "# QUANTILE q_seconds") {
+			line = l
+		}
+	}
+	if line == "" {
+		t.Fatalf("no quantile line:\n%s", text)
+	}
+	for _, want := range []string{"p50=", "p95=", "p99="} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("quantile line missing %s: %q", want, line)
+		}
+	}
+	// The scrape must stay parseable with the comment lines present.
+	parseProm(t, strings.NewReader(text))
+
+	// Labeled histograms get the quantile comment per series.
+	hv := r.HistogramVec("qv_seconds", "", []float64{1}, "endpoint")
+	hv.With("/v1/uptime").Observe(0.5)
+	sb.Reset()
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `# QUANTILE qv_seconds{endpoint="/v1/uptime"} p50=`) {
+		t.Fatalf("labeled quantile line missing:\n%s", sb.String())
+	}
+}
+
+func TestExemplarRendering(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ex_seconds", "", []float64{0.1, 1})
+	h.Observe(0.05) // no exemplar
+	h.ObserveExemplar(0.5, "deadbeefdeadbeefdeadbeefdeadbeef")
+	h.ObserveExemplar(0.7, "cafecafecafecafecafecafecafecafe") // last writer wins per bucket
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, `# EXEMPLAR ex_seconds_bucket{le="1"} 0.7 trace_id=cafecafecafecafecafecafecafecafe`) {
+		t.Fatalf("exemplar line missing or stale:\n%s", text)
+	}
+	if strings.Contains(text, "deadbeef") {
+		t.Fatalf("overwritten exemplar still rendered:\n%s", text)
+	}
+	if strings.Contains(text, `# EXEMPLAR ex_seconds_bucket{le="0.1"}`) {
+		t.Fatalf("bucket without exemplar got a line:\n%s", text)
+	}
+	got := parseProm(t, strings.NewReader(text))
+	if got[`ex_seconds_bucket{le="+Inf"}`] != 3 {
+		t.Fatalf("ObserveExemplar must also count as Observe:\n%s", text)
+	}
+	// Empty trace ID observes without recording an exemplar.
+	h2 := r.Histogram("ex2_seconds", "", []float64{1})
+	h2.ObserveExemplar(0.5, "")
+	sb.Reset()
+	_ = r.WriteProm(&sb)
+	if strings.Contains(sb.String(), "# EXEMPLAR ex2_seconds") {
+		t.Fatalf("empty trace ID produced an exemplar:\n%s", sb.String())
+	}
+}
+
+func TestHistogramVecEach(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("each_seconds", "", []float64{1}, "endpoint")
+	hv.With("/v1/wifi").Observe(0.5)
+	hv.With("/v1/uptime").Observe(0.2)
+	var order []string
+	hv.Each(func(values []string, h *Histogram) {
+		if len(values) != 1 {
+			t.Fatalf("values = %v", values)
+		}
+		order = append(order, values[0])
+		if h.Count() != 1 {
+			t.Fatalf("histogram for %v has count %d", values, h.Count())
+		}
+	})
+	if len(order) != 2 || order[0] != "/v1/uptime" || order[1] != "/v1/wifi" {
+		t.Fatalf("Each order = %v, want sorted", order)
+	}
+}
+
+func TestStartDebugWithMount(t *testing.T) {
+	d, err := StartDebugWith("127.0.0.1:0", NewRegistry(), func(mux *http.ServeMux) {
+		mux.HandleFunc("GET /extra", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprint(w, "mounted")
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	resp, err := http.Get("http://" + d.Addr() + "/extra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "mounted" {
+		t.Fatalf("mount hook not applied: %q", body)
 	}
 }
 

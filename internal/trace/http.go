@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// RegisterDebug mounts the trace endpoints on mux:
+//
+//	GET /debug/traces            list (filters: router, endpoint, status,
+//	                             min_ms, limit; default limit 50)
+//	GET /debug/traces/{id}       one trace as JSON, or as an ASCII
+//	                             waterfall with ?format=waterfall
+func RegisterDebug(mux *http.ServeMux, rec *Recorder) {
+	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		f := Filter{
+			Router:   q.Get("router"),
+			Endpoint: q.Get("endpoint"),
+			Status:   q.Get("status"),
+			Limit:    50,
+		}
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			f.Limit = n
+		}
+		if v := q.Get("min_ms"); v != "" {
+			ms, err := strconv.ParseFloat(v, 64)
+			if err != nil || ms < 0 {
+				http.Error(w, "bad min_ms", http.StatusBadRequest)
+				return
+			}
+			f.MinDuration = time.Duration(ms * float64(time.Millisecond))
+		}
+		traces := rec.Traces(f)
+		type summary struct {
+			ID         string    `json:"id"`
+			Router     string    `json:"router,omitempty"`
+			Endpoint   string    `json:"endpoint,omitempty"`
+			Status     string    `json:"status"`
+			Start      time.Time `json:"start"`
+			DurationMS float64   `json:"duration_ms"`
+			Spans      int       `json:"spans"`
+		}
+		out := make([]summary, len(traces))
+		for i, t := range traces {
+			out[i] = summary{
+				ID: t.ID, Router: t.Router, Endpoint: t.Endpoint,
+				Status: t.Status, Start: t.Start,
+				DurationMS: float64(t.Duration()) / float64(time.Millisecond),
+				Spans:      len(t.Spans),
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	})
+
+	mux.HandleFunc("GET /debug/traces/{id}", func(w http.ResponseWriter, r *http.Request) {
+		t, ok := rec.Get(r.PathValue("id"))
+		if !ok {
+			http.Error(w, "trace not found (evicted or sampled out)", http.StatusNotFound)
+			return
+		}
+		if r.URL.Query().Get("format") == "waterfall" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, Waterfall(t))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(t)
+	})
+}
+
+// waterfallWidth is the bar area of the ASCII rendering, in columns.
+const waterfallWidth = 64
+
+// Waterfall renders a trace as an ASCII span chart: one line per span,
+// bars positioned on a shared time axis, annotated with duration, status,
+// and attributes. Open spans (zero End) extend to the trace's end and are
+// marked with a trailing '…'.
+func Waterfall(t *Trace) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s  router=%s endpoint=%s status=%s\n",
+		t.ID, orDash(t.Router), orDash(t.Endpoint), t.Status)
+	fmt.Fprintf(&b, "start %s  duration %s  spans %d\n\n",
+		t.Start.Format(time.RFC3339Nano), t.Duration(), len(t.Spans))
+
+	nameW := 0
+	for _, s := range t.Spans {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	total := t.Duration()
+	for _, s := range t.Spans {
+		end, open := s.End, false
+		if end.IsZero() {
+			end, open = t.End, true
+		}
+		lo, hi := 0, waterfallWidth
+		if total > 0 {
+			lo = int(float64(s.Start.Sub(t.Start)) / float64(total) * waterfallWidth)
+			hi = int(float64(end.Sub(t.Start)) / float64(total) * waterfallWidth)
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > waterfallWidth {
+			hi = waterfallWidth
+		}
+		if hi <= lo {
+			hi = lo + 1
+		}
+		bar := strings.Repeat(" ", lo) + strings.Repeat("▇", hi-lo) + strings.Repeat(" ", waterfallWidth-hi)
+		d := end.Sub(s.Start)
+		mark := ""
+		if open {
+			mark = "…"
+		}
+		fmt.Fprintf(&b, "%-*s |%s| %10s%s", nameW, s.Name, bar, d.Round(time.Microsecond), mark)
+		if s.Status != "" && s.Status != StatusOK {
+			fmt.Fprintf(&b, " [%s]", s.Status)
+		}
+		for _, a := range s.Attrs {
+			fmt.Fprintf(&b, " %s=%s", a.K, a.V)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

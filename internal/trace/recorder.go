@@ -1,0 +1,337 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"natpeek/internal/telemetry"
+)
+
+// Config tunes a Recorder. The zero value gets sensible defaults.
+type Config struct {
+	// Capacity bounds the completed-trace ring (default 512). The oldest
+	// trace is evicted when a new one lands in a full ring.
+	Capacity int
+	// SampleRate is the probability an uninteresting trace (ok status,
+	// faster than SlowThreshold) is kept (default 0.05). Error, throttled,
+	// and slow traces are always kept — that is the tail-sampling
+	// contract: the traces worth debugging are never the ones sampled
+	// away.
+	SampleRate float64
+	// SlowThreshold marks a trace slow (default 500ms end-to-end).
+	SlowThreshold time.Duration
+}
+
+func (c *Config) fill() {
+	if c.Capacity <= 0 {
+		c.Capacity = 512
+	}
+	if c.SampleRate <= 0 {
+		c.SampleRate = 0.05
+	}
+	if c.SampleRate > 1 {
+		c.SampleRate = 1
+	}
+	if c.SlowThreshold <= 0 {
+		c.SlowThreshold = 500 * time.Millisecond
+	}
+}
+
+// maxPending bounds the orphan-span buffer (spans recorded before their
+// trace completes, e.g. a 429 throttle span for a batch whose retry has
+// not landed yet).
+const maxPending = 1024
+
+// Recorder keeps completed traces in a bounded ring with tail-based
+// sampling. It is safe for concurrent use.
+type Recorder struct {
+	mu           sync.Mutex
+	cfg          Config
+	ring         []*Trace // insertion-ordered circular buffer
+	next         int
+	byID         map[string]int // trace ID → ring slot, evicted with the ring
+	pending      map[string][]Span
+	pendingOrder []string // FIFO eviction for the pending buffer
+	rng          uint64
+
+	mKept    *telemetry.Counter
+	mSampled *telemetry.Counter
+	mMerged  *telemetry.Counter
+}
+
+// NewRecorder builds a recorder and registers its metrics.
+func NewRecorder(cfg Config) *Recorder {
+	cfg.fill()
+	reg := telemetry.Default
+	return &Recorder{
+		cfg:     cfg,
+		ring:    make([]*Trace, cfg.Capacity),
+		byID:    make(map[string]int),
+		pending: make(map[string][]Span),
+		rng:     0x9e3779b97f4a7c15,
+		mKept: reg.Counter("natpeek_trace_kept_total",
+			"Completed traces kept by the tail sampler (error/slow/throttled always, others probabilistically)."),
+		mSampled: reg.Counter("natpeek_trace_sampled_out_total",
+			"Completed traces dropped by the tail sampler (healthy and fast)."),
+		mMerged: reg.Counter("natpeek_trace_merged_total",
+			"Trace completions merged into an already-recorded trace (retries joining their original)."),
+	}
+}
+
+// SetSampling replaces the sampling knobs at runtime (zero values keep
+// defaults). The ring capacity is fixed at construction.
+func (r *Recorder) SetSampling(rate float64, slow time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cfg := r.cfg
+	cfg.SampleRate = rate
+	cfg.SlowThreshold = slow
+	cfg.fill()
+	cfg.Capacity = r.cfg.Capacity
+	r.cfg = cfg
+}
+
+// AddPending records a span for a trace that has not completed yet (the
+// collector uses it for 429 throttle spans: the batch was rejected before
+// its items could be decoded, so the span waits for the retry to land).
+// The buffer is bounded; the oldest pending trace is evicted on overflow.
+func (r *Recorder) AddPending(traceID string, s Span) {
+	if traceID == "" || !Enabled() {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.pending[traceID]; !ok {
+		if len(r.pendingOrder) >= maxPending {
+			oldest := r.pendingOrder[0]
+			r.pendingOrder = r.pendingOrder[1:]
+			delete(r.pending, oldest)
+		}
+		r.pendingOrder = append(r.pendingOrder, traceID)
+	}
+	r.pending[traceID] = append(r.pending[traceID], s)
+}
+
+// Finish completes a trace: pending spans are folded in, the trace's
+// extent and status are normalized, the tail-sampling decision is made,
+// and kept traces land in the ring. A completion whose ID is already in
+// the ring merges into (replaces) the existing entry — that is how a
+// retried payload's later, more complete history wins.
+func (r *Recorder) Finish(t *Trace) {
+	if t == nil || t.ID == "" || !Enabled() {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ps, ok := r.pending[t.ID]; ok {
+		t.Spans = append(t.Spans, ps...)
+		delete(r.pending, t.ID)
+		for i, id := range r.pendingOrder {
+			if id == t.ID {
+				r.pendingOrder = append(r.pendingOrder[:i], r.pendingOrder[i+1:]...)
+				break
+			}
+		}
+	}
+	t.normalize()
+
+	if slot, ok := r.byID[t.ID]; ok && r.ring[slot] != nil && r.ring[slot].ID == t.ID {
+		// A retry completed again (e.g. dedupe after a dropped ack): the
+		// new completion carries the fuller history.
+		r.ring[slot] = t
+		r.mMerged.Inc()
+		return
+	}
+	if !r.keep(t) {
+		r.mSampled.Inc()
+		return
+	}
+	r.mKept.Inc()
+	if old := r.ring[r.next]; old != nil {
+		delete(r.byID, old.ID)
+	}
+	r.ring[r.next] = t
+	r.byID[t.ID] = r.next
+	r.next = (r.next + 1) % len(r.ring)
+}
+
+// keep is the tail-sampling decision. Interesting traces (non-ok status
+// or slow) are always kept; the rest pass with probability SampleRate.
+func (r *Recorder) keep(t *Trace) bool {
+	if t.Keep || t.Status != StatusOK || t.Duration() >= r.cfg.SlowThreshold {
+		return true
+	}
+	return r.coin()
+}
+
+// coin flips the sampling coin. Caller holds r.mu.
+func (r *Recorder) coin() bool {
+	// xorshift64*: cheap, good-enough uniformity for sampling.
+	r.rng ^= r.rng << 13
+	r.rng ^= r.rng >> 7
+	r.rng ^= r.rng << 17
+	return float64(r.rng>>11)/float64(1<<53) < r.cfg.SampleRate
+}
+
+// WantTraceKey reports whether a trace completing around now for the
+// payload with this idempotency key would be kept, so hot paths can skip
+// construction entirely for the traces the sampler would drop — the
+// decision, not the assembly, is what runs per payload, and a skipped
+// payload costs zero allocations (the trace ID is hashed into a stack
+// buffer, never materialized). It mirrors keep() exactly: pending spans
+// (a 429 throttle waiting to fold in), an already-recorded trace (a
+// retry joining its original), a non-ok wire span, or a span old enough
+// to make the trace slow all force true; otherwise the sampling coin
+// decides. A caller that builds the trace must set Trace.Keep so Finish
+// honors this decision instead of flipping the coin twice; non-ok
+// outcomes discovered after a false answer can still build lazily (keep
+// retains them by status).
+func (r *Recorder) WantTraceKey(key string, spans []Span, now time.Time) bool {
+	if key == "" || !Enabled() {
+		return false
+	}
+	var id [32]byte
+	idFromKeyInto(&id, key)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.pending[string(id[:])]; ok {
+		return true
+	}
+	if slot, ok := r.byID[string(id[:])]; ok && r.ring[slot] != nil {
+		return true
+	}
+	slowBefore := now.Add(-r.cfg.SlowThreshold)
+	for _, s := range spans {
+		if s.Status != "" && s.Status != StatusOK {
+			return true
+		}
+		if !s.Start.IsZero() && !s.Start.After(slowBefore) {
+			return true
+		}
+	}
+	return r.coin()
+}
+
+// NoteSampledOut counts a completion a pre-sampled hot path skipped
+// (WantTrace said no and the payload finished healthy), keeping the
+// kept/sampled-out counters consistent with the always-build path.
+func (r *Recorder) NoteSampledOut() { r.mSampled.Inc() }
+
+// normalize orders spans by start time, stretches the trace extent to
+// cover them, and derives the trace status from its spans when unset
+// (worst span status wins: error > throttled > duplicate/rejected > ok).
+func (t *Trace) normalize() {
+	// Spans arrive chronologically on the happy path (queued → send →
+	// decode → apply); only sort when a merge or pending fold broke the
+	// order, keeping Finish off the reflection-based sort per payload.
+	sorted := true
+	for i := 1; i < len(t.Spans); i++ {
+		if t.Spans[i].Start.Before(t.Spans[i-1].Start) {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
+		sort.SliceStable(t.Spans, func(i, j int) bool { return t.Spans[i].Start.Before(t.Spans[j].Start) })
+	}
+	for _, s := range t.Spans {
+		if t.Start.IsZero() || (!s.Start.IsZero() && s.Start.Before(t.Start)) {
+			t.Start = s.Start
+		}
+		if s.End.After(t.End) {
+			t.End = s.End
+		}
+	}
+	if t.End.Before(t.Start) {
+		t.End = t.Start
+	}
+	if t.Status == "" {
+		t.Status = StatusOK
+		best := 0
+		for _, s := range t.Spans {
+			if rk := severity(s.Status); rk > best {
+				best = rk
+				t.Status = s.Status
+			}
+		}
+	}
+}
+
+// severity ranks span statuses for worst-wins trace status derivation.
+func severity(s string) int {
+	switch s {
+	case StatusError:
+		return 4
+	case StatusThrottled:
+		return 3
+	case StatusRejected:
+		return 2
+	case StatusDuplicate:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Filter selects traces from the ring. Zero fields match everything.
+type Filter struct {
+	Router   string
+	Endpoint string
+	Status   string
+	// MinDuration keeps only traces at least this slow.
+	MinDuration time.Duration
+	// Limit caps the result count (0 = no cap). Most recent first.
+	Limit int
+}
+
+// Traces returns the recorded traces matching f, most recently finished
+// first.
+func (r *Recorder) Traces(f Filter) []*Trace {
+	r.mu.Lock()
+	out := make([]*Trace, 0, len(r.byID))
+	// Walk the ring backwards from the most recent insertion.
+	n := len(r.ring)
+	for i := 0; i < n; i++ {
+		t := r.ring[((r.next-1-i)%n+n)%n]
+		if t == nil {
+			continue
+		}
+		if f.Router != "" && t.Router != f.Router {
+			continue
+		}
+		if f.Endpoint != "" && t.Endpoint != f.Endpoint {
+			continue
+		}
+		if f.Status != "" && t.Status != f.Status {
+			continue
+		}
+		if f.MinDuration > 0 && t.Duration() < f.MinDuration {
+			continue
+		}
+		out = append(out, t)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// Get returns the recorded trace with the given ID.
+func (r *Recorder) Get(id string) (*Trace, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	slot, ok := r.byID[id]
+	if !ok || r.ring[slot] == nil {
+		return nil, false
+	}
+	return r.ring[slot], true
+}
+
+// Len returns the number of traces currently held.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byID)
+}

@@ -1,0 +1,280 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2013, 4, 1, 0, 0, 0, 0, time.UTC)
+
+func mkTrace(id, status string, dur time.Duration) *Trace {
+	return &Trace{
+		ID:     id,
+		Router: "gw-1", Endpoint: "/v1/uptime",
+		Status: status,
+		Spans: []Span{
+			{Name: "spool.queued", Start: t0, End: t0.Add(dur / 2)},
+			{Name: "collector.apply", Start: t0.Add(dur / 2), End: t0.Add(dur), Status: status},
+		},
+	}
+}
+
+func TestIDFromKeyDeterministicAndDistinct(t *testing.T) {
+	a, b := IDFromKey("gw-1:abcd:/v1/uptime:7"), IDFromKey("gw-1:abcd:/v1/uptime:7")
+	if a != b {
+		t.Fatalf("same key, different IDs: %s vs %s", a, b)
+	}
+	if len(a) != 32 || !isHex(a) {
+		t.Fatalf("ID %q not 32 hex chars", a)
+	}
+	if IDFromKey("other") == a {
+		t.Fatal("distinct keys collided")
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	id := IDFromKey("k")
+	got, ok := ParseTraceparent(FormatTraceparent(id))
+	if !ok || got != id {
+		t.Fatalf("round trip: got %q ok=%v, want %q", got, ok, id)
+	}
+	if bare, ok := ParseTraceparent(id); !ok || bare != id {
+		t.Fatalf("bare ID: got %q ok=%v", bare, ok)
+	}
+	for _, bad := range []string{"", "00-zz-00-01", "00-1234-00-01", "nothex!"} {
+		if _, ok := ParseTraceparent(bad); ok {
+			t.Fatalf("ParseTraceparent(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTailSamplingKeepsInteresting(t *testing.T) {
+	rec := NewRecorder(Config{Capacity: 64, SampleRate: 0.0001, SlowThreshold: time.Second})
+	rec.Finish(mkTrace(IDFromKey("err"), StatusError, time.Millisecond))
+	rec.Finish(mkTrace(IDFromKey("thr"), StatusThrottled, time.Millisecond))
+	rec.Finish(mkTrace(IDFromKey("slow"), "", 2*time.Second))
+	for _, key := range []string{"err", "thr", "slow"} {
+		if _, ok := rec.Get(IDFromKey(key)); !ok {
+			t.Fatalf("interesting trace %q was sampled out", key)
+		}
+	}
+	// Healthy-and-fast traces are (almost) all dropped at this rate.
+	for i := 0; i < 200; i++ {
+		rec.Finish(mkTrace(IDFromKey(fmt.Sprintf("ok-%d", i)), "", time.Millisecond))
+	}
+	if n := rec.Len(); n > 10 {
+		t.Fatalf("sampler kept %d healthy traces at rate 0.0001", n)
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	rec := NewRecorder(Config{Capacity: 4, SampleRate: 1})
+	for i := 0; i < 6; i++ {
+		rec.Finish(mkTrace(IDFromKey(fmt.Sprintf("t-%d", i)), StatusError, time.Millisecond))
+	}
+	if n := rec.Len(); n != 4 {
+		t.Fatalf("ring holds %d, want 4", n)
+	}
+	if _, ok := rec.Get(IDFromKey("t-0")); ok {
+		t.Fatal("oldest trace not evicted")
+	}
+	if _, ok := rec.Get(IDFromKey("t-5")); !ok {
+		t.Fatal("newest trace missing")
+	}
+}
+
+func TestRetryMergesIntoSameTrace(t *testing.T) {
+	rec := NewRecorder(Config{Capacity: 8, SampleRate: 1})
+	id := IDFromKey("retry-me")
+	first := mkTrace(id, StatusError, time.Millisecond)
+	rec.Finish(first)
+	second := mkTrace(id, "", 2*time.Millisecond)
+	second.Spans = append(second.Spans, Span{Name: "spool.attempt", Start: t0, End: t0.Add(time.Millisecond), Status: StatusError})
+	rec.Finish(second)
+	got, ok := rec.Get(id)
+	if !ok {
+		t.Fatal("merged trace missing")
+	}
+	if len(got.Spans) != 3 {
+		t.Fatalf("merge kept %d spans, want the fuller 3", len(got.Spans))
+	}
+	if rec.Len() != 1 {
+		t.Fatalf("retry created a second entry: %d", rec.Len())
+	}
+}
+
+func TestPendingSpansJoinOnFinish(t *testing.T) {
+	rec := NewRecorder(Config{Capacity: 8, SampleRate: 1})
+	id := IDFromKey("throttled-batch")
+	rec.AddPending(id, Span{Name: "collector.throttle", Start: t0, End: t0.Add(time.Millisecond), Status: StatusThrottled})
+	tr := mkTrace(id, "", time.Millisecond)
+	rec.Finish(tr)
+	got, _ := rec.Get(id)
+	found := false
+	for _, s := range got.Spans {
+		if s.Name == "collector.throttle" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pending throttle span not folded in: %+v", got.Spans)
+	}
+	if got.Status != StatusThrottled {
+		t.Fatalf("status %q, want throttled (worst span wins)", got.Status)
+	}
+}
+
+func TestPendingBufferBounded(t *testing.T) {
+	rec := NewRecorder(Config{Capacity: 8})
+	for i := 0; i < maxPending+10; i++ {
+		rec.AddPending(IDFromKey(fmt.Sprintf("p-%d", i)), Span{Name: "x", Start: t0})
+	}
+	rec.mu.Lock()
+	n := len(rec.pending)
+	rec.mu.Unlock()
+	if n > maxPending {
+		t.Fatalf("pending buffer grew to %d, cap %d", n, maxPending)
+	}
+}
+
+func TestDisabledTracingRecordsNothing(t *testing.T) {
+	rec := NewRecorder(Config{Capacity: 8, SampleRate: 1})
+	SetEnabled(false)
+	defer SetEnabled(true)
+	rec.Finish(mkTrace(IDFromKey("off"), StatusError, time.Millisecond))
+	rec.AddPending(IDFromKey("off2"), Span{Name: "x", Start: t0})
+	if rec.Len() != 0 {
+		t.Fatal("disabled recorder stored a trace")
+	}
+}
+
+func TestNormalizeDerivesExtentAndStatus(t *testing.T) {
+	tr := &Trace{ID: "x", Spans: []Span{
+		{Name: "b", Start: t0.Add(time.Second), End: t0.Add(2 * time.Second)},
+		{Name: "a", Start: t0, End: t0.Add(time.Second), Status: StatusDuplicate},
+	}}
+	tr.normalize()
+	if tr.Spans[0].Name != "a" {
+		t.Fatal("spans not sorted by start")
+	}
+	if !tr.Start.Equal(t0) || !tr.End.Equal(t0.Add(2*time.Second)) {
+		t.Fatalf("extent %v..%v", tr.Start, tr.End)
+	}
+	if tr.Status != StatusDuplicate {
+		t.Fatalf("status %q", tr.Status)
+	}
+}
+
+func debugServer(t *testing.T, rec *Recorder) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	RegisterDebug(mux, rec)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestDebugListAndFilters(t *testing.T) {
+	rec := NewRecorder(Config{Capacity: 16, SampleRate: 1})
+	rec.Finish(mkTrace(IDFromKey("a"), StatusError, time.Millisecond))
+	okT := mkTrace(IDFromKey("b"), "", 3*time.Millisecond)
+	okT.Router, okT.Endpoint = "gw-2", "/v1/wifi"
+	rec.Finish(okT)
+	srv := debugServer(t, rec)
+
+	fetch := func(q string) []map[string]any {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/debug/traces" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var out []map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if got := fetch(""); len(got) != 2 {
+		t.Fatalf("unfiltered list: %d traces", len(got))
+	}
+	if got := fetch("?status=error"); len(got) != 1 || got[0]["status"] != "error" {
+		t.Fatalf("status filter: %+v", got)
+	}
+	if got := fetch("?router=gw-2"); len(got) != 1 || got[0]["endpoint"] != "/v1/wifi" {
+		t.Fatalf("router filter: %+v", got)
+	}
+	if got := fetch("?endpoint=/v1/uptime&limit=1"); len(got) != 1 {
+		t.Fatalf("endpoint+limit filter: %+v", got)
+	}
+	if got := fetch("?min_ms=2"); len(got) != 1 || got[0]["router"] != "gw-2" {
+		t.Fatalf("min_ms filter: %+v", got)
+	}
+	resp, err := http.Get(srv.URL + "/debug/traces?limit=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad limit: status %d", resp.StatusCode)
+	}
+}
+
+func TestDebugGetJSONAndWaterfall(t *testing.T) {
+	rec := NewRecorder(Config{Capacity: 16, SampleRate: 1})
+	id := IDFromKey("wf")
+	tr := mkTrace(id, StatusError, 4*time.Millisecond)
+	tr.Spans = append(tr.Spans, Span{Name: "spool.send", Start: t0.Add(time.Millisecond),
+		Attrs: []Attr{{K: "attempt", V: "2"}}})
+	rec.Finish(tr)
+	srv := debugServer(t, rec)
+
+	resp, err := http.Get(srv.URL + "/debug/traces/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Trace
+	err = json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if err != nil || got.ID != id || len(got.Spans) != 3 {
+		t.Fatalf("JSON get: %+v err=%v", got, err)
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/traces/" + id + "?format=waterfall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	wf := b.String()
+	for _, want := range []string{"trace " + id, "spool.queued", "collector.apply", "▇", "[error]", "attempt=2", "…"} {
+		if !strings.Contains(wf, want) {
+			t.Fatalf("waterfall missing %q:\n%s", want, wf)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/traces/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing trace: status %d", resp.StatusCode)
+	}
+}

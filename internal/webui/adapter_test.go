@@ -1,0 +1,76 @@
+package webui
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"natpeek/internal/anonymize"
+	"natpeek/internal/capture"
+	"natpeek/internal/mac"
+	"natpeek/internal/packet"
+)
+
+// mkFrame builds one upstream TCP frame from the device to a public
+// destination port (dstPort selects the domain bucket via SNI-less
+// classification: unknown ports land in the "" domain).
+func mkFrame(dev mac.Addr, dst netip.Addr, payload int) []byte {
+	gwHW := mac.MustParse("20:4e:7f:00:00:01")
+	return packet.NewBuilder(dev, gwHW).TCPv4(
+		netip.MustParseAddr("192.168.1.10"), dst,
+		packet.TCP{SrcPort: 5000, DstPort: 443, Flags: packet.FlagACK}, 64, make([]byte, payload))
+}
+
+func TestMonitorUsageDefaultsToWallClock(t *testing.T) {
+	mon := capture.New(capture.Config{LANPrefix: netip.MustParsePrefix("192.168.1.0/24")},
+		anonymize.New([]byte("k")))
+	before := time.Now()
+	snap := MonitorUsage(mon, nil, nil)()
+	if snap.GeneratedAt.Before(before) {
+		t.Fatalf("nil now: GeneratedAt %v before call time %v", snap.GeneratedAt, before)
+	}
+}
+
+func TestMonitorUsageShareSplitsAcrossDevices(t *testing.T) {
+	mon := capture.New(capture.Config{LANPrefix: netip.MustParsePrefix("192.168.1.0/24")},
+		anonymize.New([]byte("k")))
+	devA := mac.MustParse("a4:b1:97:00:00:0a")
+	devB := mac.MustParse("00:24:54:00:00:0b")
+	dst := netip.MustParseAddr("203.0.113.80")
+	// Three frames for A, one for B: A's share must dominate.
+	for i := 0; i < 3; i++ {
+		mon.Process(mkFrame(devA, dst, 1000), capture.Upstream, t0)
+	}
+	mon.Process(mkFrame(devB, dst, 1000), capture.Upstream, t0)
+
+	snap := MonitorUsage(mon, nil, func() time.Time { return t0 })()
+	if len(snap.Devices) != 2 {
+		t.Fatalf("devices: %+v", snap.Devices)
+	}
+	var shares float64
+	for _, d := range snap.Devices {
+		if d.Share <= 0 || d.Bytes <= 0 {
+			t.Fatalf("degenerate row: %+v", d)
+		}
+		shares += d.Share
+	}
+	if shares < 0.999 || shares > 1.001 {
+		t.Fatalf("shares sum to %v, want 1", shares)
+	}
+}
+
+func TestMonitorUsageSkipsUnresolvedDomains(t *testing.T) {
+	mon := capture.New(capture.Config{LANPrefix: netip.MustParsePrefix("192.168.1.0/24")},
+		anonymize.New([]byte("k")))
+	dev := mac.MustParse("a4:b1:97:00:00:0a")
+	// Traffic with no DNS context lands in the unresolved ("") domain
+	// bucket, which the dashboard must not render as a row.
+	mon.Process(mkFrame(dev, netip.MustParseAddr("203.0.113.80"), 500), capture.Upstream, t0)
+
+	snap := MonitorUsage(mon, nil, func() time.Time { return t0 })()
+	for _, row := range snap.TopDomains {
+		if row.Domain == "" {
+			t.Fatalf("unresolved-domain row leaked into the dashboard: %+v", snap.TopDomains)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package webui
+
+// The pipeline page is the ops view of the ingest path: live
+// per-endpoint latency percentiles, spool depth, and the most recent
+// slow or failed traces from the flight recorder, each linking to its
+// /debug/traces waterfall. It mounts on whatever mux the process
+// already serves (the collector's API mux, the gateway's debug
+// listener) — same composition-by-callback pattern as the usage
+// dashboard.
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"math"
+	"net/http"
+	"sort"
+	"time"
+
+	"natpeek/internal/telemetry"
+	"natpeek/internal/trace"
+)
+
+// EndpointStat is one endpoint's live latency summary.
+type EndpointStat struct {
+	Endpoint string  `json:"endpoint"`
+	Count    uint64  `json:"count"`
+	P50ms    float64 `json:"p50_ms"`
+	P99ms    float64 `json:"p99_ms"`
+}
+
+// Fmt50 and Fmt99 render the percentiles for the template.
+func (e EndpointStat) Fmt50() string { return fmtMs(e.P50ms) }
+func (e EndpointStat) Fmt99() string { return fmtMs(e.P99ms) }
+
+func fmtMs(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fms", v)
+}
+
+// PipelineTrace is one recent trace on the pipeline page.
+type PipelineTrace struct {
+	ID         string  `json:"id"`
+	Router     string  `json:"router,omitempty"`
+	Endpoint   string  `json:"endpoint,omitempty"`
+	Status     string  `json:"status"`
+	DurationMS float64 `json:"duration_ms"`
+	Spans      int     `json:"spans"`
+}
+
+// FmtDur renders the duration for the template.
+func (t PipelineTrace) FmtDur() string { return fmtMs(t.DurationMS) }
+
+// PipelineSnapshot is everything the pipeline page shows.
+type PipelineSnapshot struct {
+	GeneratedAt time.Time       `json:"generated_at"`
+	Endpoints   []EndpointStat  `json:"endpoints"`
+	SpoolDepth  float64         `json:"spool_depth"`
+	Recent      []PipelineTrace `json:"recent_traces"`
+}
+
+// PipelineConfig wires the pipeline page to its data sources.
+type PipelineConfig struct {
+	// Title labels the page (e.g. "collector", a router ID).
+	Title string
+	// Snapshot produces the current view; required (RegisterPipeline
+	// substitutes an empty view if nil, so a misconfigured mount shows
+	// an empty page rather than crashing the process's mux).
+	Snapshot func() PipelineSnapshot
+}
+
+// RegisterPipeline mounts the ops view on mux: GET /pipeline (HTML) and
+// GET /api/pipeline (JSON).
+func RegisterPipeline(mux *http.ServeMux, cfg PipelineConfig) {
+	if cfg.Snapshot == nil {
+		cfg.Snapshot = func() PipelineSnapshot { return PipelineSnapshot{GeneratedAt: time.Now()} }
+	}
+	mux.HandleFunc("GET /pipeline", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		err := pipelineTmpl.Execute(w, map[string]any{
+			"Title": cfg.Title,
+			"Snap":  cfg.Snapshot(),
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("GET /api/pipeline", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(cfg.Snapshot())
+	})
+}
+
+var pipelineTmpl = template.Must(template.New("pipeline").Parse(`<!doctype html>
+<html><head><title>pipeline — {{.Title}}</title></head><body>
+<h1>Ingest pipeline — {{.Title}}</h1>
+<p>Generated {{.Snap.GeneratedAt.Format "15:04:05.000"}} · spool depth {{.Snap.SpoolDepth}}</p>
+<h2>Endpoint latency</h2>
+<table border="1"><tr><th>endpoint</th><th>requests</th><th>p50</th><th>p99</th></tr>
+{{range .Snap.Endpoints}}<tr><td>{{.Endpoint}}</td><td>{{.Count}}</td><td>{{.Fmt50}}</td><td>{{.Fmt99}}</td></tr>
+{{end}}</table>
+<h2>Recent slow / failed traces</h2>
+<table border="1"><tr><th>trace</th><th>router</th><th>endpoint</th><th>status</th><th>duration</th><th>spans</th></tr>
+{{range .Snap.Recent}}<tr><td><a href="/debug/traces/{{.ID}}?format=waterfall">{{.ID}}</a></td>
+<td>{{.Router}}</td><td>{{.Endpoint}}</td><td>{{.Status}}</td><td>{{.FmtDur}}</td><td>{{.Spans}}</td></tr>
+{{end}}</table>
+</body></html>`))
+
+// maxPipelineTraces bounds the recent-trace table.
+const maxPipelineTraces = 15
+
+// PipelineFromTelemetry adapts the standard instrumentation — a latency
+// HistogramVec keyed by endpoint, a trace recorder, and the process
+// spool-depth gauge — into the page's Snapshot callback. Any source may
+// be nil; its section is simply empty.
+func PipelineFromTelemetry(lat *telemetry.HistogramVec, rec *trace.Recorder, depth *telemetry.Gauge) func() PipelineSnapshot {
+	return func() PipelineSnapshot {
+		snap := PipelineSnapshot{GeneratedAt: time.Now()}
+		if lat != nil {
+			lat.Each(func(values []string, h *telemetry.Histogram) {
+				if len(values) == 0 {
+					return
+				}
+				s := h.Snapshot()
+				snap.Endpoints = append(snap.Endpoints, EndpointStat{
+					Endpoint: values[0],
+					Count:    s.Count,
+					P50ms:    s.Quantile(0.50) * 1000,
+					P99ms:    s.Quantile(0.99) * 1000,
+				})
+			})
+		}
+		if depth != nil {
+			snap.SpoolDepth = depth.Value()
+		}
+		if rec != nil {
+			recent := rec.Traces(trace.Filter{Limit: 4 * maxPipelineTraces})
+			// Interesting first: failures and throttles ahead of merely
+			// sampled-in healthy traces, preserving recency within each
+			// group.
+			sort.SliceStable(recent, func(i, j int) bool {
+				return statusRank(recent[i].Status) > statusRank(recent[j].Status)
+			})
+			for _, t := range recent {
+				if len(snap.Recent) >= maxPipelineTraces {
+					break
+				}
+				snap.Recent = append(snap.Recent, PipelineTrace{
+					ID: t.ID, Router: t.Router, Endpoint: t.Endpoint, Status: t.Status,
+					DurationMS: float64(t.Duration()) / float64(time.Millisecond),
+					Spans:      len(t.Spans),
+				})
+			}
+		}
+		return snap
+	}
+}
+
+func statusRank(s string) int {
+	switch s {
+	case trace.StatusError:
+		return 3
+	case trace.StatusThrottled:
+		return 2
+	case trace.StatusRejected, trace.StatusDuplicate:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,150 @@
+package webui
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"natpeek/internal/telemetry"
+	"natpeek/internal/trace"
+)
+
+func pipelineServer(t *testing.T, cfg PipelineConfig) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	RegisterPipeline(mux, cfg)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func staticPipeline() PipelineSnapshot {
+	return PipelineSnapshot{
+		GeneratedAt: t0,
+		Endpoints: []EndpointStat{
+			{Endpoint: "/v1/uptime", Count: 42, P50ms: 1.5, P99ms: 12.25},
+		},
+		SpoolDepth: 7,
+		Recent: []PipelineTrace{
+			{ID: "aaaabbbbccccddddaaaabbbbccccdddd", Router: "gw-1", Endpoint: "/v1/uptime",
+				Status: "error", DurationMS: 3.5, Spans: 4},
+		},
+	}
+}
+
+func TestPipelinePageRenders(t *testing.T) {
+	srv := pipelineServer(t, PipelineConfig{Title: "collector", Snapshot: staticPipeline})
+	resp, err := http.Get(srv.URL + "/pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	body := sb.String()
+	for _, want := range []string{
+		"collector", "/v1/uptime", "1.50ms", "12.25ms", "spool depth 7",
+		`/debug/traces/aaaabbbbccccddddaaaabbbbccccdddd?format=waterfall`, "error",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("pipeline page missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestPipelineJSON(t *testing.T) {
+	srv := pipelineServer(t, PipelineConfig{Snapshot: staticPipeline})
+	resp, err := http.Get(srv.URL + "/api/pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got PipelineSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Endpoints) != 1 || got.Endpoints[0].Count != 42 || got.SpoolDepth != 7 {
+		t.Fatalf("snapshot JSON wrong: %+v", got)
+	}
+	if len(got.Recent) != 1 || got.Recent[0].Status != "error" {
+		t.Fatalf("recent traces wrong: %+v", got)
+	}
+}
+
+func TestPipelineNilSnapshotServesEmptyPage(t *testing.T) {
+	srv := pipelineServer(t, PipelineConfig{Title: "empty"})
+	for _, path := range []string{"/pipeline", "/api/pipeline"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestPipelineFromTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	lat := reg.HistogramVec("pt_seconds", "", []float64{0.001, 0.01, 0.1}, "endpoint")
+	for i := 0; i < 100; i++ {
+		lat.With("/v1/uptime").Observe(0.005)
+	}
+	lat.With("/v1/wifi").Observe(0.05)
+	depth := reg.Gauge("pt_depth", "")
+	depth.Set(3)
+
+	rec := trace.NewRecorder(trace.Config{Capacity: 64, SampleRate: 1})
+	for i, status := range []string{"", trace.StatusError, trace.StatusThrottled} {
+		tr := &trace.Trace{
+			ID: trace.IDFromKey("pt-" + string(rune('a'+i))), Router: "gw-1", Endpoint: "/v1/uptime",
+			Status: status,
+			Spans:  []trace.Span{{Name: "x", Start: t0, End: t0.Add(time.Millisecond)}},
+		}
+		rec.Finish(tr)
+	}
+
+	snap := PipelineFromTelemetry(lat, rec, depth)()
+	if len(snap.Endpoints) != 2 {
+		t.Fatalf("endpoints: %+v", snap.Endpoints)
+	}
+	// HistogramVec.Each iterates sorted by label key.
+	if snap.Endpoints[0].Endpoint != "/v1/uptime" || snap.Endpoints[1].Endpoint != "/v1/wifi" {
+		t.Fatalf("endpoint order: %+v", snap.Endpoints)
+	}
+	up := snap.Endpoints[0]
+	if up.Count != 100 || up.P50ms <= 0 || up.P99ms < up.P50ms {
+		t.Fatalf("percentiles wrong: %+v", up)
+	}
+	if snap.SpoolDepth != 3 {
+		t.Fatalf("spool depth = %v", snap.SpoolDepth)
+	}
+	if len(snap.Recent) != 3 {
+		t.Fatalf("recent: %+v", snap.Recent)
+	}
+	// Failures sort ahead of healthy traces.
+	if snap.Recent[0].Status != trace.StatusError || snap.Recent[1].Status != trace.StatusThrottled {
+		t.Fatalf("interesting-first ordering broken: %+v", snap.Recent)
+	}
+}
+
+func TestPipelineFromTelemetryNilSources(t *testing.T) {
+	snap := PipelineFromTelemetry(nil, nil, nil)()
+	if len(snap.Endpoints) != 0 || len(snap.Recent) != 0 || snap.SpoolDepth != 0 {
+		t.Fatalf("nil sources produced data: %+v", snap)
+	}
+	if snap.GeneratedAt.IsZero() {
+		t.Fatal("GeneratedAt not stamped")
+	}
+}

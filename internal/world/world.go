@@ -128,8 +128,8 @@ type Accounting struct {
 	CapacityMeasures int64 // ShaperProbe runs executed by the world
 
 	// Statistical fast-path traffic (FrameTraffic off).
-	GenFlows    int64
-	GenUpBytes  int64
+	GenFlows     int64
+	GenUpBytes   int64
 	GenDownBytes int64
 
 	// Frame-mode traffic (FrameTraffic on): raw frames fed to monitors,
