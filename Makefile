@@ -3,7 +3,7 @@
 #   make check        # vet + build + tests with -race + verify + load gates
 #   make check-verify # golden runs, conservation invariants, parser fuzzing
 #   make check-load   # sharded-store stress + admission + loadgen soaks, -race
-#   make bench        # regression benchmark suite -> BENCH_6.json
+#   make bench        # regression benchmark suite -> BENCH_7.json
 #   make bench-paper  # full reproduction driver (tables/figures + ablations)
 
 GO ?= go
@@ -32,11 +32,13 @@ race:
 	$(GO) test -race ./...
 
 # The scale-regression suite. Fixed -benchtime keeps runs comparable;
-# bench-report turns the text output into BENCH_6.json (per-benchmark
+# bench-report turns the text output into BENCH_7.json (per-benchmark
 # metrics plus the sharded-vs-single-lock append speedup — read it with
 # num_cpu in mind: the speedup only materialises on multi-core hosts).
 # BenchmarkIngestBatchTraced rides the same regex and tracks the tracing
-# on/off delta on the ingest hot path (budget: <5% median overhead).
+# on/off delta on the ingest hot path (budget: <5% median overhead),
+# and BenchmarkIngestBatchWire compares the NPB1 binary batch encoding
+# against JSON (targets: >= 5x rows/s/core, >= 10x fewer allocs/batch).
 bench:
 	{ \
 	  $(GO) test -run='^$$' -bench='BenchmarkStoreAppend|BenchmarkDedupeMark|BenchmarkStoreSave|BenchmarkShardedMerge' \
@@ -45,7 +47,7 @@ bench:
 	  $(GO) test -run='^$$' -bench='BenchmarkSpoolDrain' -benchtime=$(BENCHTIME) -benchmem ./internal/spool/ && \
 	  $(GO) test -run='^$$' -bench='BenchmarkWorldRunHome' -benchtime=$(BENCHTIME) -benchmem ./internal/world/ && \
 	  $(GO) test -run='^$$' -bench='BenchmarkLoadgenEndToEnd' -benchtime=$(BENCHTIME) -benchmem ./internal/loadgen/ ; \
-	} | $(GO) run ./cmd/bench-report -pr 6 -out BENCH_6.json
+	} | $(GO) run ./cmd/bench-report -pr 7 -out BENCH_7.json
 
 # The full paper-reproduction driver (tables/figures + ablations).
 bench-paper:
@@ -63,7 +65,7 @@ bench-telemetry:
 # restart), and the gateway export/throttle regressions.
 check-reliability:
 	$(GO) test -race ./internal/spool/
-	$(GO) test -race -run 'TestZeroRowLoss|TestSpoolJournal|TestBatch|TestIdempotency|TestOversized|TestChunked|TestErrorResponses|TestClientErrSurfacesFailures' ./internal/collector/
+	$(GO) test -race -run 'TestZeroRowLoss|TestSpoolJournal|TestBatch|TestIdempotency|TestOversized|TestChunked|TestErrorResponses|TestClientErrSurfacesFailures|TestWire|TestGzip|TestDirectEndpoint|TestBinary' ./internal/collector/
 	$(GO) test -race -run 'TestFlowExport|TestPowerOffExports|TestScanThrottle' ./internal/gateway/
 
 # The correctness-harness gate:
@@ -84,6 +86,7 @@ check-verify: fuzz-seeds
 	$(GO) test -run='^$$' -fuzz='FuzzDecode' -fuzztime=$(FUZZTIME) ./internal/packet/
 	$(GO) test -run='^$$' -fuzz='FuzzJournalReplay' -fuzztime=$(FUZZTIME) ./internal/spool/
 	$(GO) test -run='^$$' -fuzz='FuzzRequestDecode' -fuzztime=$(FUZZTIME) ./internal/collector/
+	$(GO) test -run='^$$' -fuzz='FuzzWireDecode' -fuzztime=$(FUZZTIME) ./internal/wire/
 
 # The scale gate, under the race detector:
 #   1. sharded-store stress (32 shards, concurrent appliers + replays)
@@ -102,4 +105,4 @@ check-load:
 
 # Replay the checked-in fuzz corpora as plain unit tests (fast, -race).
 fuzz-seeds:
-	$(GO) test -race -run 'Fuzz' ./internal/dns/ ./internal/pcap/ ./internal/packet/ ./internal/spool/ ./internal/collector/
+	$(GO) test -race -run 'Fuzz' ./internal/dns/ ./internal/pcap/ ./internal/packet/ ./internal/spool/ ./internal/collector/ ./internal/wire/

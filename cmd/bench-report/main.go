@@ -149,11 +149,31 @@ func derive(rep *report) {
 		}
 		return 0
 	}
+	metric := func(name, key string) float64 {
+		for _, b := range rep.Benchmarks {
+			if b.Name == name {
+				return b.Metrics[key]
+			}
+		}
+		return 0
+	}
 	for _, g := range []int{1, 8} {
 		single := nsop(fmt.Sprintf("BenchmarkStoreAppend/mode=single-lock/goroutines=%d", g))
 		sharded := nsop(fmt.Sprintf("BenchmarkStoreAppend/mode=sharded/goroutines=%d", g))
 		if single > 0 && sharded > 0 {
 			rep.Derived[fmt.Sprintf("sharded_append_speedup_%d_goroutines", g)] = single / sharded
 		}
+	}
+	// Binary wire format vs JSON on the same batch ingest workload.
+	// Targets (PR 7): >= 5x rows/s/core, >= 10x fewer allocs per batch.
+	jsonNs := nsop("BenchmarkIngestBatchWire/format=json")
+	binNs := nsop("BenchmarkIngestBatchWire/format=binary")
+	if jsonNs > 0 && binNs > 0 {
+		rep.Derived["binary_ingest_speedup"] = jsonNs / binNs
+	}
+	jsonAllocs := metric("BenchmarkIngestBatchWire/format=json", "allocs/op")
+	binAllocs := metric("BenchmarkIngestBatchWire/format=binary", "allocs/op")
+	if jsonAllocs > 0 && binAllocs > 0 {
+		rep.Derived["binary_ingest_alloc_ratio"] = jsonAllocs / binAllocs
 	}
 }

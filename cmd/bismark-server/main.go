@@ -33,6 +33,7 @@ func main() {
 	failSeed := flag.Uint64("fail-seed", 1, "fault injection RNG seed")
 	traceSample := flag.Float64("trace-sample", 0.05, "tail-sampling keep probability for healthy traces (error, throttled, and slow traces are always kept)")
 	traceSlow := flag.Duration("trace-slow", 500*time.Millisecond, "traces at least this slow are always kept")
+	noBinary := flag.Bool("no-binary", false, "stop advertising the NPB1 binary batch encoding (clients fall back to JSON; binary uploads are still accepted)")
 	flag.Parse()
 
 	log := telemetry.SetupLogger("bismark-server")
@@ -48,6 +49,10 @@ func main() {
 		log.Warn("fault injection enabled", "rate", *failRate, "seed", *failSeed)
 	}
 	srv.SetTraceSampling(*traceSample, *traceSlow)
+	if *noBinary {
+		srv.SetAdvertiseBinary(false)
+		log.Info("binary batch advertisement disabled")
+	}
 	log.Info("listening",
 		"heartbeats", "udp://"+srv.UDPAddr(),
 		"uploads", "http://"+srv.HTTPAddr(),

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"natpeek/internal/trace"
+	"natpeek/internal/wire"
 )
 
 // benchBatchBody builds one /v1/batch payload: `items` uptime uploads
@@ -73,6 +74,60 @@ func BenchmarkIngestBatch(b *testing.B) {
 				}()
 			}
 			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*items/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkIngestBatchWire compares the two batch encodings on the same
+// logical payload — the headline number for the binary wire format.
+// format=json decodes the envelope with encoding/json and each item body
+// per endpoint; format=binary runs the pooled wire.Decoder with in-place
+// row decoding. BENCH_*.json derives binary_ingest_speedup (rows/s) and
+// binary_ingest_alloc_ratio (allocs/batch) from the pair.
+func BenchmarkIngestBatchWire(b *testing.B) {
+	const routers, items = 16, 32
+	jsonBody := benchBatchBody(b, routers, items)
+	var batch []BatchItem
+	if err := json.Unmarshal(jsonBody, &batch); err != nil {
+		b.Fatal(err)
+	}
+	wireItems := make([]wire.Item, len(batch))
+	for i, it := range batch {
+		wireItems[i] = wire.Item{Endpoint: it.Endpoint, Key: it.Key,
+			Payload: wire.PayloadFromJSON(it.Endpoint, it.Body)}
+		if wireItems[i].Payload.Kind == wire.KindRaw {
+			b.Fatalf("item %d fell back to raw JSON; benchmark would not measure the typed path", i)
+		}
+	}
+	binBody := wire.AppendBatch(nil, wireItems)
+
+	for _, bc := range []struct {
+		format string
+		ct     string
+		body   []byte
+	}{
+		{"json", "application/json", jsonBody},
+		{"binary", wire.ContentTypeBinary, binBody},
+	} {
+		b.Run("format="+bc.format, func(b *testing.B) {
+			srv, err := NewServer("127.0.0.1:0", "127.0.0.1:0", nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/v1/batch", bytes.NewReader(bc.body))
+				req.Header.Set("Content-Type", bc.ct)
+				rec := httptest.NewRecorder()
+				srv.handleBatch(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("status %d", rec.Code)
+				}
+			}
 			b.StopTimer()
 			b.ReportMetric(float64(b.N)*items/b.Elapsed().Seconds(), "rows/s")
 		})

@@ -25,6 +25,7 @@ package collector
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -44,6 +45,7 @@ import (
 	"natpeek/internal/telemetry"
 	"natpeek/internal/trace"
 	"natpeek/internal/webui"
+	"natpeek/internal/wire"
 )
 
 // closeTimeout bounds how long Close waits for in-flight uploads before
@@ -100,6 +102,7 @@ type Server struct {
 
 	mReqs       *telemetry.CounterVec
 	mDecodeErrs *telemetry.CounterVec
+	mOversized  *telemetry.CounterVec
 	mPayload    *telemetry.CounterVec
 	mItems      *telemetry.CounterVec
 	mDedupe     *telemetry.CounterVec
@@ -109,6 +112,10 @@ type Server struct {
 
 	rec    *trace.Recorder
 	faults *faultInjector
+
+	// advertiseBinary gates the Accept-Post header through which clients
+	// discover NPB1 support (default on; bismark-server -no-binary).
+	advertiseBinary atomic.Bool
 
 	closeOnce sync.Once
 	closeErr  error
@@ -132,6 +139,8 @@ func NewServer(udpAddr, httpAddr string, store *dataset.Sharded) (*Server, error
 			"Upload API requests received, per endpoint.", "endpoint"),
 		mDecodeErrs: reg.CounterVec("natpeek_http_decode_errors_total",
 			"Upload API requests rejected with a body decode error, per endpoint.", "endpoint"),
+		mOversized: reg.CounterVec("natpeek_http_oversized_total",
+			"Upload API requests rejected with 413 because the body exceeded the upload limit, per endpoint.", "endpoint"),
 		mPayload: reg.CounterVec("natpeek_http_payload_bytes_total",
 			"Upload API request payload bytes actually read, per endpoint.", "endpoint"),
 		mItems: reg.CounterVec("natpeek_collector_batch_items_total",
@@ -148,6 +157,7 @@ func NewServer(udpAddr, httpAddr string, store *dataset.Sharded) (*Server, error
 	}
 	s.appliers = newAppliers()
 	s.admit.Store(make(chan struct{}, DefaultMaxInflight))
+	s.advertiseBinary.Store(true)
 	rx, err := heartbeat.NewReceiver(udpAddr, store.Heartbeats, nil)
 	if err != nil {
 		return nil, err
@@ -293,6 +303,13 @@ func (s *Server) SetMaxInflight(n int) {
 // the API mux at /debug/traces).
 func (s *Server) TraceRecorder() *trace.Recorder { return s.rec }
 
+// SetAdvertiseBinary toggles the Accept-Post advertisement through which
+// clients discover binary batch support (bismark-server -no-binary).
+// With it off, auto-negotiating clients stay on JSON; the server still
+// accepts binary requests from clients explicitly configured to send
+// them.
+func (s *Server) SetAdvertiseBinary(on bool) { s.advertiseBinary.Store(on) }
+
 // SetTraceSampling replaces the tail-sampling knobs: rate is the keep
 // probability for healthy traces, slow the always-keep latency threshold
 // (zero values keep defaults).
@@ -395,6 +412,11 @@ func (s *Server) instrument(endpoint string, injectable bool, h http.HandlerFunc
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		reqs.Inc()
+		// Advertise the binary batch encoding; clients capture this from
+		// the registration response and switch /v1/batch to NPB1.
+		if s.advertiseBinary.Load() {
+			w.Header().Set("Accept-Post", wire.ContentTypeBinary+", application/json")
+		}
 		// The Traceparent header names the batch's representative trace
 		// (its first item). It correlates 429s, injected faults, and
 		// latency exemplars back to the originating upload.
@@ -485,13 +507,14 @@ func (s *Server) jsonEndpoint(endpoint string) http.HandlerFunc {
 	decodeErrs := s.mDecodeErrs.With(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		body, err := io.ReadAll(r.Body)
-		if err != nil {
-			decodeErrs.Inc()
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		bb := s.readBody(w, r, endpoint)
+		if bb == nil {
 			return
 		}
-		router, apply, err := af(body)
+		router, apply, err := af(bb.b)
+		// The applier's json.Unmarshal copied everything it decoded, so
+		// the pooled buffer is free before the apply runs.
+		putBody(bb)
 		if err != nil {
 			decodeErrs.Inc()
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -527,30 +550,55 @@ type BatchItem struct {
 	Trace *trace.Wire `json:"trace,omitempty"`
 }
 
-// BatchResult summarizes one /v1/batch ingestion.
+// BatchResult summarizes one /v1/batch ingestion. Failed reports every
+// item the server acknowledged but could not decode, so the client's
+// spool can distinguish "applied" from "dropped as malformed" and
+// dead-letter the latter instead of silently counting them delivered.
 type BatchResult struct {
-	Applied    int `json:"applied"`
-	Duplicates int `json:"duplicates"`
-	Rejected   int `json:"rejected"`
+	Applied    int            `json:"applied"`
+	Duplicates int            `json:"duplicates"`
+	Rejected   int            `json:"rejected"`
+	Failed     []BatchFailure `json:"failed,omitempty"`
 }
 
-// handleBatch ingests a batch of spooled uploads. Items are applied
-// independently: an undecodable item is counted and skipped without
+// BatchFailure names one rejected batch item and why it was refused.
+type BatchFailure struct {
+	Endpoint string `json:"endpoint"`
+	Key      string `json:"key"`
+	Reason   string `json:"reason"`
+}
+
+// handleBatch ingests a batch of spooled uploads, JSON or binary (NPB1)
+// by Content-Type. Items are applied independently: an undecodable item
+// is counted, reported in BatchResult.Failed, and skipped without
 // failing the batch (the client's payloads are machine-generated, so a
 // decode error is a bug, not a retryable condition), and duplicate keys
 // are acknowledged without re-applying.
+//
+// The JSON envelope is decoded with json.Unmarshal, not a Decoder:
+// Unmarshal rejects trailing bytes after the array, where the old
+// Decoder-based path silently ignored them and acknowledged a request
+// whose tail was never applied.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	decodeStart := time.Now()
+	bb := s.readBody(w, r, "/v1/batch")
+	if bb == nil {
+		return
+	}
+	defer putBody(bb)
+	if ct := r.Header.Get("Content-Type"); ct == wire.ContentTypeBinary ||
+		strings.HasPrefix(ct, wire.ContentTypeBinary+";") {
+		s.handleBatchWire(w, bb.b, decodeStart)
+		return
+	}
 	var items []BatchItem
-	if err := json.NewDecoder(r.Body).Decode(&items); err != nil {
+	if err := json.Unmarshal(bb.b, &items); err != nil {
 		s.mDecodeErrs.With("/v1/batch").Inc()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	decodeEnd := time.Now()
-	tracing := trace.Enabled()
-	var traces []*trace.Trace
-	var res BatchResult
+	var b batchIngest
+	b.begin(s, decodeStart)
 	for _, it := range items {
 		// Pre-sample: decide keep/drop before paying for trace assembly.
 		// Most items are healthy and most healthy traces are sampled away,
@@ -558,58 +606,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// item (zero allocations when it says skip); the trace itself is
 		// built eagerly when WantTraceKey says keep, or lazily the moment
 		// an item goes wrong.
-		var t *trace.Trace
-		var lazyKey string
-		if tracing && it.Key != "" {
-			var wire []trace.Span
-			if it.Trace != nil {
-				wire = it.Trace.Spans
-			}
-			if s.rec.WantTraceKey(it.Key, wire, decodeEnd) {
-				t = itemTrace(trace.IDFromKey(it.Key), it.Trace, it.Endpoint, decodeStart, decodeEnd)
-				traces = append(traces, t)
-			} else {
-				lazyKey = it.Key
-			}
-		}
-		af := s.appliers[it.Endpoint]
-		if af == nil {
-			s.mDecodeErrs.With("/v1/batch").Inc()
-			res.Rejected++
-			t = lazyTrace(t, lazyKey, it.Trace, it.Endpoint, decodeStart, decodeEnd, &traces)
-			addApply(t, decodeEnd, trace.StatusRejected, "unknown endpoint")
-			continue
-		}
-		applyStart := time.Now()
-		router, apply, err := af(it.Body)
-		if err != nil {
-			s.mDecodeErrs.With(it.Endpoint).Inc()
-			res.Rejected++
-			t = lazyTrace(t, lazyKey, it.Trace, it.Endpoint, decodeStart, decodeEnd, &traces)
-			addApply(t, applyStart, trace.StatusRejected, "decode error")
-			continue
-		}
-		s.mItems.With(it.Endpoint).Inc()
-		if s.ingest(it.Endpoint, it.Key, router, apply) {
-			res.Applied++
-			addApply(t, applyStart, trace.StatusOK, "")
-			if t == nil && lazyKey != "" {
-				s.rec.NoteSampledOut()
-			}
-		} else {
-			res.Duplicates++
-			t = lazyTrace(t, lazyKey, it.Trace, it.Endpoint, decodeStart, decodeEnd, &traces)
-			addApply(t, applyStart, trace.StatusDuplicate, "")
-		}
-		if t != nil && t.Router == "" {
-			t.Router = router
-		}
+		t, lazyKey := b.pre(it.Key, it.Trace, it.Endpoint)
+		s.batchItemJSON(&b, it, t, lazyKey)
 	}
-	for _, t := range traces {
-		s.rec.Finish(t)
-	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(res)
+	b.finish(w)
 }
 
 // itemTrace assembles the server-side trace for one keyed batch item:
@@ -778,15 +778,37 @@ type Client struct {
 	mUploads  *telemetry.CounterVec
 	mFailures *telemetry.CounterVec
 
+	wireMode WireMode
+	gzipOn   bool
+	// binary records whether the server advertised NPB1 support
+	// (Accept-Post on the registration response); WireAuto keys off it.
+	binary atomic.Bool
+
 	mu       sync.Mutex
 	lastErr  error
 	window   *trace.Span  // open export-window span, nil outside a window
 	attempts []trace.Span // failed delivery attempts since the last ack
+	encBuf   []byte       // drainer-owned binary encode buffer, reused per batch
+	zipBuf   bytes.Buffer // drainer-owned gzip buffer, reused per batch
 }
 
 // maxAttemptSpans bounds the retained failed-attempt history per batch;
 // a long outage keeps the first few and most recent failures.
 const maxAttemptSpans = 16
+
+// WireMode selects the encoding a Client uses for /v1/batch uploads.
+type WireMode int
+
+const (
+	// WireAuto (the default) uses the binary encoding when the server
+	// advertises it on the registration response, JSON otherwise — new
+	// clients against old servers degrade to JSON automatically.
+	WireAuto WireMode = iota
+	// WireJSON always sends the JSON envelope.
+	WireJSON
+	// WireBinary always sends NPB1, regardless of advertisement.
+	WireBinary
+)
 
 // Option tunes a Client.
 type Option func(*clientOptions)
@@ -794,6 +816,19 @@ type Option func(*clientOptions)
 type clientOptions struct {
 	transport http.RoundTripper
 	spool     spool.Config
+	wire      WireMode
+	gzip      bool
+}
+
+// WithWireFormat pins the batch encoding instead of auto-negotiating.
+func WithWireFormat(m WireMode) Option {
+	return func(o *clientOptions) { o.wire = m }
+}
+
+// WithGzip compresses batch request bodies (either encoding). Worth it
+// on constrained uplinks; the collector always accepts gzip.
+func WithGzip(on bool) Option {
+	return func(o *clientOptions) { o.gzip = on }
 }
 
 // WithTransport installs a custom HTTP transport (e.g. a
@@ -833,6 +868,8 @@ func NewClient(routerID, country, udpAddr, httpAddr string, opts ...Option) (*Cl
 			"Upload payloads produced by this process's collector clients, per endpoint.", "endpoint"),
 		mFailures: reg.CounterVec("natpeek_client_upload_failures_total",
 			"Failed upload delivery attempts, per endpoint.", "endpoint"),
+		wireMode: o.wire,
+		gzipOn:   o.gzip,
 	}
 	o.spool.KeyPrefix = routerID
 	sp, err := spool.New(o.spool, c.sendBatch)
@@ -946,6 +983,9 @@ func (c *Client) post(path string, v any) error {
 	if err != nil {
 		return c.fail(path, fmt.Errorf("collector: POST %s: %w", path, err))
 	}
+	if strings.Contains(resp.Header.Get("Accept-Post"), wire.ContentTypeBinary) {
+		c.binary.Store(true)
+	}
 	msg := drainBody(resp)
 	resp.Body.Close()
 	if resp.StatusCode >= 300 {
@@ -955,9 +995,13 @@ func (c *Client) post(path string, v any) error {
 }
 
 // sendBatch is the spool's Sender: one POST of a whole batch to
-// /v1/batch. Any transport error or non-2xx status leaves the batch
-// queued; the server's idempotency keys make the redelivery safe.
-func (c *Client) sendBatch(ctx context.Context, items []spool.Item) error {
+// /v1/batch, JSON or NPB1 per the negotiated wire mode. Any transport
+// error or non-2xx status leaves the batch queued; the server's
+// idempotency keys make the redelivery safe. On success, per-item
+// decode failures from the server's BatchResult come back as the
+// spool.Result so malformed payloads dead-letter instead of counting
+// as delivered.
+func (c *Client) sendBatch(ctx context.Context, items []spool.Item) (spool.Result, error) {
 	tracing := trace.Enabled()
 	now := time.Now()
 	payload := make([]BatchItem, len(items))
@@ -983,15 +1027,18 @@ func (c *Client) sendBatch(ctx context.Context, items []spool.Item) error {
 			payload[i].Trace = w
 		}
 	}
-	body, err := json.Marshal(payload)
+	body, contentType, err := c.encodeBatch(payload)
 	if err != nil {
-		return err
+		return spool.Result{}, err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+"/v1/batch", bytes.NewReader(body))
 	if err != nil {
-		return err
+		return spool.Result{}, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
+	if c.gzipOn {
+		req.Header.Set("Content-Encoding", "gzip")
+	}
 	if tracing {
 		for i := range payload {
 			if payload[i].Trace != nil {
@@ -1003,22 +1050,79 @@ func (c *Client) sendBatch(ctx context.Context, items []spool.Item) error {
 	resp, err := c.httpc.Do(req)
 	if err != nil {
 		c.recordAttempt(now, trace.StatusError, err.Error())
-		return c.failBatch(items, fmt.Errorf("collector: POST /v1/batch: %w", err))
+		return spool.Result{}, c.failBatch(items, fmt.Errorf("collector: POST /v1/batch: %w", err))
 	}
-	msg := drainBody(resp)
-	resp.Body.Close()
 	if resp.StatusCode >= 300 {
+		msg := drainBody(resp)
+		resp.Body.Close()
 		status := trace.StatusError
 		if resp.StatusCode == http.StatusTooManyRequests {
 			status = trace.StatusThrottled
 		}
 		c.recordAttempt(now, status, fmt.Sprintf("status %d", resp.StatusCode))
-		return c.failBatch(items, fmt.Errorf("collector: POST /v1/batch: status %d: %s", resp.StatusCode, msg))
+		return spool.Result{}, c.failBatch(items, fmt.Errorf("collector: POST /v1/batch: status %d: %s", resp.StatusCode, msg))
+	}
+	// Read the whole acknowledgment: the BatchResult names any items the
+	// server refused as malformed.
+	var br BatchResult
+	raw, rerr := io.ReadAll(io.LimitReader(resp.Body, maxUploadBytes))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if rerr == nil {
+		// A result that fails to parse is treated as all-applied: the
+		// batch was acknowledged, and inventing failures would dead-letter
+		// healthy rows.
+		_ = json.Unmarshal(raw, &br)
+	}
+	var res spool.Result
+	for _, f := range br.Failed {
+		res.Malformed = append(res.Malformed, spool.ItemError{Key: f.Key, Reason: f.Reason})
 	}
 	if tracing {
 		c.finishBatchTraces(payload, time.Now())
 	}
-	return nil
+	return res, nil
+}
+
+// encodeBatch renders one batch request body in the client's negotiated
+// encoding, applying gzip when configured. The binary transcode is
+// conservative: any body that does not decode cleanly into its
+// endpoint's typed rows ships as raw JSON inside the NPB1 envelope, so
+// the server's accept/reject outcome matches the JSON path exactly. The
+// returned buffer is drainer-owned and valid until the next call.
+func (c *Client) encodeBatch(payload []BatchItem) (body []byte, contentType string, err error) {
+	useBinary := c.wireMode == WireBinary || (c.wireMode == WireAuto && c.binary.Load())
+	if useBinary {
+		wireItems := make([]wire.Item, len(payload))
+		for i := range payload {
+			wireItems[i] = wire.Item{
+				Endpoint: payload[i].Endpoint,
+				Key:      payload[i].Key,
+				Payload:  wire.PayloadFromJSON(payload[i].Endpoint, payload[i].Body),
+				Trace:    payload[i].Trace,
+			}
+		}
+		c.encBuf = wire.AppendBatch(c.encBuf[:0], wireItems)
+		body, contentType = c.encBuf, wire.ContentTypeBinary
+	} else {
+		body, err = json.Marshal(payload)
+		if err != nil {
+			return nil, "", err
+		}
+		contentType = "application/json"
+	}
+	if c.gzipOn {
+		c.zipBuf.Reset()
+		zw := gzip.NewWriter(&c.zipBuf)
+		if _, err := zw.Write(body); err != nil {
+			return nil, "", err
+		}
+		if err := zw.Close(); err != nil {
+			return nil, "", err
+		}
+		body = c.zipBuf.Bytes()
+	}
+	return body, contentType, nil
 }
 
 // recordAttempt remembers one failed delivery attempt; the history rides

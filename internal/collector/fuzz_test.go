@@ -3,10 +3,14 @@ package collector
 import (
 	"bytes"
 	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"sort"
 	"testing"
+	"time"
 
 	"natpeek/internal/dataset"
+	"natpeek/internal/wire"
 )
 
 // FuzzRequestDecode fuzzes the upload API's decode surface: every /v1/*
@@ -73,6 +77,121 @@ func FuzzRequestDecode(f *testing.F) {
 		roundTrip[registerReq](t, data)
 		roundTrip[[]BatchItem](t, data)
 	})
+}
+
+// FuzzBatchTranscode cross-checks the two /v1/batch encodings: any JSON
+// batch the server accepts, transcoded to the binary wire format the
+// client's encoder would produce, must yield the same BatchResult and
+// the same store rows when replayed against a fresh server. Divergence
+// means a gateway switching wire formats would silently change what the
+// dataset records.
+func FuzzBatchTranscode(f *testing.F) {
+	f.Add([]byte(`[{"endpoint":"/v1/uptime","key":"k1","body":{"RouterID":"r","ReportedAt":"2013-04-01T00:00:00Z","Uptime":3600000000000}}]`))
+	f.Add([]byte(`[{"endpoint":"/v1/capacity","key":"","body":{"RouterID":"r","MeasuredAt":"2013-04-02T12:00:00+05:30","UpBps":450000,"DownBps":8000000}}]`))
+	f.Add([]byte(`[{"endpoint":"/v1/devices","key":"c1","body":{"count":{"RouterID":"r","At":"2013-03-06T00:00:00Z","Wired":1,"W24":2,"W5":0},` +
+		`"sightings":[{"RouterID":"r","At":"2013-03-06T00:00:00Z","Device":"00:1c:b3:a1:b2:c3","Kind":1}]}}]`))
+	f.Add([]byte(`[{"endpoint":"/v1/wifi","key":"w","body":[{"RouterID":"r","At":"2012-11-01T00:10:00Z","Band":"2.4GHz","Channel":11,"VisibleAPs":7,"Clients":2}]},` +
+		`{"endpoint":"/v1/wifi","key":"w","body":[]}]`))
+	f.Add([]byte(`[{"endpoint":"/v1/traffic/flows","key":"f","body":[{"RouterID":"r","Device":"00:1c:b3:a1:b2:c3","Domain":"anon-0123","Proto":"tcp",` +
+		`"First":"2013-04-01T10:00:00Z","Last":"2013-04-01T10:05:00Z","UpBytes":1000,"DownBytes":90000,"UpPkts":10,"DownPkts":70,"Conns":1}]}]`))
+	f.Add([]byte(`[{"endpoint":"/v1/traffic/throughput","key":"t","body":[{"RouterID":"r","Minute":"2013-04-01T10:00:00Z","Dir":"up","PeakBps":1048576,"TotalBytes":500000}]}]`))
+	f.Add([]byte(`[{"endpoint":"/v1/uptime","key":"old","body":{"RouterID":"r","ReportedAt":"1899-12-31T23:59:59Z"}}]`))
+	f.Add([]byte(`[{"endpoint":"/v1/nope","key":"k2","body":{}},{"endpoint":"/v1/wifi","key":"k3","body":"notanarray"}]`))
+	f.Add([]byte(`[{"endpoint":"/v1/uptime","key":"z","body":null}]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4<<10 {
+			return
+		}
+		var items []BatchItem
+		if json.Unmarshal(data, &items) != nil || len(items) > 32 {
+			return
+		}
+		// Re-marshal so both encodings start from the same canonical
+		// envelope (no trailing bytes, no duplicate-field ambiguity).
+		jsonBody, err := json.Marshal(items)
+		if err != nil {
+			return
+		}
+		wireItems := make([]wire.Item, len(items))
+		for i, it := range items {
+			wireItems[i] = wire.Item{Endpoint: it.Endpoint, Key: it.Key,
+				Payload: wire.PayloadFromJSON(it.Endpoint, it.Body)}
+		}
+		binBody := wire.AppendBatch(nil, wireItems)
+
+		jsonRes, jsonStore := replayBatch(t, "application/json", jsonBody)
+		binRes, binStore := replayBatch(t, wire.ContentTypeBinary, binBody)
+		if jsonRes != binRes {
+			t.Fatalf("batch results diverge:\n json   %s\n binary %s", jsonRes, binRes)
+		}
+		if jsonStore != binStore {
+			t.Fatalf("stores diverge:\n json   %s\n binary %s", jsonStore, binStore)
+		}
+	})
+}
+
+// replayBatch posts one batch body to a fresh server and returns the
+// canonicalised BatchResult and store contents.
+func replayBatch(t *testing.T, contentType string, body []byte) (string, string) {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	req := httptest.NewRequest(http.MethodPost, "/v1/batch", bytes.NewReader(body))
+	req.Header.Set("Content-Type", contentType)
+	rec := httptest.NewRecorder()
+	srv.handleBatch(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("%s batch: status %d: %s", contentType, rec.Code, rec.Body)
+	}
+	st := srv.Store()
+	rows, err := json.Marshal([]any{st.Uptime, st.Capacity, st.Counts, st.Sightings, st.WiFi, st.Flows, st.Throughput})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Body.String(), canonTimes(t, rows)
+}
+
+// canonTimes rewrites every RFC 3339 string in a JSON document to UTC.
+// The binary codec carries instants (UnixNano), so a zoned timestamp
+// decodes as the same instant in UTC — a representation change, not a
+// data change — and a byte compare must not flag it.
+func canonTimes(t *testing.T, doc []byte) string {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(doc, &v); err != nil {
+		t.Fatalf("canonTimes: %v", err)
+	}
+	var walk func(any) any
+	walk = func(n any) any {
+		switch x := n.(type) {
+		case map[string]any:
+			for k, vv := range x {
+				x[k] = walk(vv)
+			}
+			return x
+		case []any:
+			for i := range x {
+				x[i] = walk(x[i])
+			}
+			return x
+		case string:
+			if ts, err := time.Parse(time.RFC3339Nano, x); err == nil {
+				return ts.UTC().Format(time.RFC3339Nano)
+			}
+			return x
+		default:
+			return n
+		}
+	}
+	out, err := json.Marshal(walk(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
 }
 
 // roundTrip asserts that once data decodes as T, encode→decode→encode

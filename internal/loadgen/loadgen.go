@@ -18,6 +18,7 @@ package loadgen
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
@@ -38,6 +39,7 @@ import (
 	"natpeek/internal/rng"
 	"natpeek/internal/telemetry"
 	"natpeek/internal/trace"
+	"natpeek/internal/wire"
 )
 
 // Mix weighs the upload endpoints in the generated traffic. Zero-valued
@@ -101,6 +103,14 @@ type Config struct {
 	DirectFraction float64
 	// Workers is the HTTP delivery concurrency (default 8).
 	Workers int
+	// Wire selects the batch encoding: "binary" (default) ships NPB1,
+	// matching what a deployed gateway negotiates; "json" forces the
+	// legacy encoding so soaks keep covering that server path too.
+	// Direct uploads are always JSON — /v1/* endpoints have no binary
+	// form.
+	Wire string
+	// Gzip compresses batch request bodies with Content-Encoding: gzip.
+	Gzip bool
 	// Seed makes the generated rows deterministic. Idempotency keys get
 	// a per-run nonce on top, so re-running the same seed against a
 	// live server still stores fresh rows.
@@ -144,6 +154,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Start.IsZero() {
 		c.Start = time.Date(2013, 4, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.Wire == "" {
+		c.Wire = "binary"
 	}
 	return c
 }
@@ -239,10 +252,13 @@ func (r *Report) String() string {
 	return b.String()
 }
 
-// upload is one generated payload awaiting delivery.
+// upload is one generated payload awaiting delivery. payload always
+// carries the typed rows; body is the JSON encoding, marshaled only
+// when a delivery path needs it (direct POSTs, or Wire "json").
 type upload struct {
 	endpoint string
 	key      string
+	payload  wire.Payload
 	body     json.RawMessage
 	direct   bool
 	genAt    time.Time // row generation time; lineage measures genAt→ack
@@ -292,6 +308,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	if cfg.BaseURL == "" {
 		return nil, fmt.Errorf("loadgen: BaseURL required")
+	}
+	if cfg.Wire != "binary" && cfg.Wire != "json" {
+		return nil, fmt.Errorf("loadgen: unknown wire format %q (want binary or json)", cfg.Wire)
 	}
 	var nb [8]byte
 	if _, err := rand.Read(nb[:]); err != nil {
@@ -463,25 +482,29 @@ func (r *runner) runRouter(ctx context.Context, gen *generator, i int) error {
 
 // payload generates one upload: endpoint chosen from the mix, rows
 // shaped like the world simulator's, key prefixed with the router ID so
-// replays route to the same store shard.
+// replays route to the same store shard. Rows are built as a typed
+// wire.Payload; the JSON encoding is derived from it only for delivery
+// paths that ship JSON, so binary runs never round-trip through text.
 func (r *runner) payload(gen *generator, id string, router, cycle, seq int, stream *rng.Stream) (upload, Rows, error) {
 	cfg := r.cfg
 	at := cfg.Start.Add(time.Duration(cycle) * time.Hour).Add(time.Duration(seq%60) * time.Minute)
 	var (
 		endpoint string
-		v        any
+		p        wire.Payload
 		rows     Rows
 	)
 	switch stream.WeightedChoice(r.weights) {
 	case 0:
 		endpoint = "/v1/uptime"
-		v = dataset.UptimeReport{RouterID: id, ReportedAt: at,
+		p.Kind = wire.KindUptime
+		p.Uptime = dataset.UptimeReport{RouterID: id, ReportedAt: at,
 			Uptime: time.Duration(stream.Intn(14*24*3600)) * time.Second}
 		rows.Uptime = 1
 		r.mRows.With("uptime").Inc()
 	case 1:
 		endpoint = "/v1/capacity"
-		v = dataset.CapacityMeasure{RouterID: id, MeasuredAt: at,
+		p.Kind = wire.KindCapacity
+		p.Capacity = dataset.CapacityMeasure{RouterID: id, MeasuredAt: at,
 			UpBps: stream.Range(4e5, 1e7), DownBps: stream.Range(1e6, 1e8)}
 		rows.Capacity = 1
 		r.mRows.With("capacity").Inc()
@@ -494,13 +517,9 @@ func (r *runner) payload(gen *generator, id string, router, cycle, seq int, stre
 				Device: mac.FromOUI(0x001CB3, uint32(router*1000+j)),
 				Kind:   dataset.ConnKind(stream.Intn(3))}
 		}
-		v = struct {
-			Count     dataset.DeviceCount      `json:"count"`
-			Sightings []dataset.DeviceSighting `json:"sightings"`
-		}{
-			Count:     dataset.DeviceCount{RouterID: id, At: at, Wired: stream.Intn(3), W24: stream.Intn(6), W5: stream.Intn(4)},
-			Sightings: sightings,
-		}
+		p.Kind = wire.KindDevices
+		p.Count = dataset.DeviceCount{RouterID: id, At: at, Wired: stream.Intn(3), W24: stream.Intn(6), W5: stream.Intn(4)}
+		p.Sightings = sightings
 		rows.Counts = 1
 		rows.Sightings = int64(n)
 		r.mRows.With("devices").Inc()
@@ -511,7 +530,8 @@ func (r *runner) payload(gen *generator, id string, router, cycle, seq int, stre
 			scans[j] = dataset.WiFiScan{RouterID: id, At: at, Band: band,
 				Channel: 1 + stream.Intn(11), VisibleAPs: stream.Intn(25), Clients: stream.Intn(6)}
 		}
-		v = scans
+		p.Kind = wire.KindWiFi
+		p.WiFi = scans
 		rows.WiFi = int64(len(scans))
 		r.mRows.With("wifi").Inc()
 	case 4:
@@ -526,7 +546,8 @@ func (r *runner) payload(gen *generator, id string, router, cycle, seq int, stre
 				UpPkts: int64(stream.Intn(1e4)), DownPkts: int64(stream.Intn(1e5)),
 				Conns: 1 + int64(stream.Intn(9))}
 		}
-		v = flows
+		p.Kind = wire.KindFlows
+		p.Flows = flows
 		rows.Flows = int64(len(flows))
 		r.mRows.With("flows").Inc()
 	default:
@@ -538,21 +559,26 @@ func (r *runner) payload(gen *generator, id string, router, cycle, seq int, stre
 				Dir:     []string{"up", "down"}[j%2],
 				PeakBps: stream.Range(1e4, 1e8), TotalBytes: stream.Int63() % 1e8}
 		}
-		v = samples
+		p.Kind = wire.KindThroughput
+		p.Throughput = samples
 		rows.Throughput = int64(len(samples))
 		r.mRows.With("throughput").Inc()
 	}
-	body, err := json.Marshal(v)
-	if err != nil {
-		return upload{}, Rows{}, fmt.Errorf("loadgen: marshal %s: %w", endpoint, err)
-	}
-	return upload{
+	up := upload{
 		endpoint: endpoint,
 		key:      id + ":" + r.nonce + ":" + strconv.Itoa(seq),
-		body:     body,
+		payload:  p,
 		direct:   stream.Bool(cfg.DirectFraction),
 		genAt:    time.Now(),
-	}, rows, nil
+	}
+	if up.direct || cfg.Wire == "json" {
+		body, err := p.JSONBody()
+		if err != nil {
+			return upload{}, Rows{}, fmt.Errorf("loadgen: marshal %s: %w", endpoint, err)
+		}
+		up.body = body
+	}
+	return up, rows, nil
 }
 
 // deliver drains the work channel: direct uploads POST individually
@@ -695,30 +721,67 @@ func (r *runner) recordLineage(ups []upload, ackAt time.Time, attempts int) {
 
 func (r *runner) postBatch(ctx context.Context, ups []upload) {
 	now := time.Now()
-	items := make([]collector.BatchItem, len(ups))
-	for i, up := range ups {
-		items[i] = collector.BatchItem{Endpoint: up.endpoint, Key: up.key, Body: up.body}
-		if trace.Enabled() {
-			// Client-side lineage: the queued span covers generation →
-			// first POST; retries re-ship the same spans and merge
-			// server-side by trace ID.
-			items[i].Trace = &trace.Wire{
-				TraceID: trace.IDFromKey(up.key),
-				Router:  up.router(),
-				Spans: []trace.Span{{Name: "loadgen.queued", Start: up.genAt, End: now,
-					Status: trace.StatusOK}},
-			}
+	// Client-side lineage: the queued span covers generation → first
+	// POST; retries re-ship the same spans and merge server-side by
+	// trace ID.
+	traceFor := func(up upload) *trace.Wire {
+		if !trace.Enabled() {
+			return nil
+		}
+		return &trace.Wire{
+			TraceID: trace.IDFromKey(up.key),
+			Router:  up.router(),
+			Spans: []trace.Span{{Name: "loadgen.queued", Start: up.genAt, End: now,
+				Status: trace.StatusOK}},
 		}
 	}
-	body, err := json.Marshal(items)
-	if err != nil {
-		r.fail(err)
-		return
+	var (
+		body        []byte
+		contentType string
+	)
+	if r.cfg.Wire == "binary" {
+		items := make([]wire.Item, len(ups))
+		for i, up := range ups {
+			items[i] = wire.Item{Endpoint: up.endpoint, Key: up.key,
+				Payload: up.payload, Trace: traceFor(up)}
+		}
+		body = wire.AppendBatch(nil, items)
+		contentType = wire.ContentTypeBinary
+	} else {
+		items := make([]collector.BatchItem, len(ups))
+		for i, up := range ups {
+			items[i] = collector.BatchItem{Endpoint: up.endpoint, Key: up.key,
+				Body: up.body, Trace: traceFor(up)}
+		}
+		var err error
+		if body, err = json.Marshal(items); err != nil {
+			r.fail(err)
+			return
+		}
+		contentType = "application/json"
+	}
+	encoding := ""
+	if r.cfg.Gzip {
+		var zb bytes.Buffer
+		zw := gzip.NewWriter(&zb)
+		if _, err := zw.Write(body); err != nil {
+			r.fail(err)
+			return
+		}
+		if err := zw.Close(); err != nil {
+			r.fail(err)
+			return
+		}
+		body = zb.Bytes()
+		encoding = "gzip"
 	}
 	resBody, attempts, ok := r.retryLoop(ctx, func() (*http.Request, error) {
 		req, err := http.NewRequest(http.MethodPost, r.cfg.BaseURL+"/v1/batch", bytes.NewReader(body))
 		if err == nil {
-			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("Content-Type", contentType)
+			if encoding != "" {
+				req.Header.Set("Content-Encoding", encoding)
+			}
 			req.Header.Set("Traceparent", trace.FormatTraceparent(trace.IDFromKey(ups[0].key)))
 		}
 		return req, err

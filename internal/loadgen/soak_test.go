@@ -147,3 +147,44 @@ func TestRunDeterministicRows(t *testing.T) {
 	}
 	_ = srv
 }
+
+// TestSoakWireModes runs the conservation soak once per explicit wire
+// configuration: forced JSON (the legacy server path must stay covered
+// now that the default is binary) and gzip-compressed binary. Every
+// mode must conserve rows exactly.
+func TestSoakWireModes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		wire string
+		gzip bool
+	}{
+		{"json", "json", false},
+		{"binary-gzip", "binary", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, baseURL := startCollector(t)
+			ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+			defer cancel()
+
+			cfg := soakConfig(baseURL)
+			cfg.Routers = 50
+			cfg.Wire = tc.wire
+			cfg.Gzip = tc.gzip
+			rep, err := Run(ctx, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkRun(t, srv, rep)
+		})
+	}
+}
+
+// TestRunRejectsUnknownWire pins the config validation.
+func TestRunRejectsUnknownWire(t *testing.T) {
+	_, baseURL := startCollector(t)
+	cfg := soakConfig(baseURL)
+	cfg.Wire = "msgpack"
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("unknown wire format accepted")
+	}
+}

@@ -18,9 +18,9 @@ func BenchmarkSpoolDrain(b *testing.B) {
 		KeyPrefix: "bench-router",
 		Capacity:  1 << 17,
 		MaxBatch:  64,
-	}, func(ctx context.Context, items []Item) error {
+	}, func(ctx context.Context, items []Item) (Result, error) {
 		sent.Add(int64(len(items)))
-		return nil
+		return Result{}, nil
 	})
 	if err != nil {
 		b.Fatal(err)

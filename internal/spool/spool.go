@@ -25,7 +25,10 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	mrand "math/rand"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -56,7 +59,29 @@ type Item struct {
 // Sender delivers one batch of items. A nil error acknowledges the whole
 // batch; any error leaves every item queued for retry. The context
 // carries the per-request timeout.
-type Sender func(ctx context.Context, items []Item) error
+//
+// The Result distinguishes "applied" from "dropped as malformed": items
+// the server acknowledged but could not decode are listed in
+// Result.Malformed. They will not be retried (the payload is
+// machine-generated, so a decode failure is a bug, not a transient), but
+// the spool dead-letters them to Dir/deadletter.jsonl and counts them
+// separately from successful sends instead of silently folding them into
+// the acknowledged total.
+type Sender func(ctx context.Context, items []Item) (Result, error)
+
+// Result is the per-item outcome of one delivered (2xx-acknowledged)
+// batch. The zero value means every item was applied or deduplicated.
+type Result struct {
+	// Malformed lists the items the server rejected as undecodable,
+	// keyed by idempotency key.
+	Malformed []ItemError
+}
+
+// ItemError names one item the server refused, and why.
+type ItemError struct {
+	Key    string
+	Reason string
+}
 
 // Config tunes a Spooler. The zero value gets sensible defaults.
 type Config struct {
@@ -127,6 +152,7 @@ type Spooler struct {
 	mEnqueued  *telemetry.CounterVec
 	mSent      *telemetry.CounterVec
 	mDropped   *telemetry.CounterVec
+	mMalformed *telemetry.CounterVec
 	mRetries   *telemetry.Counter
 	mBatches   *telemetry.Counter
 	gDepth     *telemetry.Gauge
@@ -157,6 +183,8 @@ func New(cfg Config, send Sender) (*Spooler, error) {
 			"Payloads acknowledged by the collector, per endpoint.", "endpoint"),
 		mDropped: reg.CounterVec("natpeek_spool_dropped_total",
 			"Payloads dropped on queue overflow (oldest first), per endpoint.", "endpoint"),
+		mMalformed: reg.CounterVec("natpeek_spool_malformed_total",
+			"Payloads the server acknowledged but rejected as undecodable (dead-lettered, not retried), per endpoint.", "endpoint"),
 		mRetries: reg.Counter("natpeek_spool_retries_total",
 			"Failed delivery attempts that left the batch queued for retry."),
 		mBatches: reg.Counter("natpeek_spool_batches_total",
@@ -358,12 +386,27 @@ func (s *Spooler) take() []Item {
 
 // ack removes delivered items. Removal is by sequence number, so items
 // that overflowed out of the queue mid-flight are simply not there to
-// remove and freshly enqueued items (higher seq) are untouched.
-func (s *Spooler) ack(items []Item) {
+// remove and freshly enqueued items (higher seq) are untouched. Items
+// the server reported malformed are removed too — redelivering a payload
+// the server cannot decode would retry forever — but they are counted
+// apart from successful sends and dead-lettered for post-mortem.
+func (s *Spooler) ack(items []Item, res Result) {
+	var malformed map[string]string
+	if len(res.Malformed) > 0 {
+		malformed = make(map[string]string, len(res.Malformed))
+		for _, e := range res.Malformed {
+			malformed[e.Key] = e.Reason
+		}
+	}
 	maxSeq := make(map[string]uint64, len(items))
 	for _, it := range items {
 		if cur, ok := maxSeq[it.Endpoint]; !ok || it.Seq > cur {
 			maxSeq[it.Endpoint] = it.Seq
+		}
+		if reason, bad := malformed[it.Key]; bad {
+			s.mMalformed.With(it.Endpoint).Inc()
+			s.deadLetter(it, reason)
+			continue
 		}
 		s.mSent.With(it.Endpoint).Inc()
 	}
@@ -385,6 +428,42 @@ func (s *Spooler) ack(items []Item) {
 	s.updateHealthLocked(time.Now())
 }
 
+// deadLetterFile collects malformed payloads inside Config.Dir.
+const deadLetterFile = "deadletter.jsonl"
+
+// deadLetter journals one malformed item for post-mortem. The row is
+// always logged; with Config.Dir set it is also appended (with its full
+// body) to Dir/deadletter.jsonl. Only the drainer calls this, so the
+// append needs no locking; a write error degrades to log-only.
+func (s *Spooler) deadLetter(it Item, reason string) {
+	slog.Warn("spool: server rejected payload as malformed, dead-lettering",
+		"endpoint", it.Endpoint, "key", it.Key, "reason", reason)
+	if s.cfg.Dir == "" {
+		return
+	}
+	line, err := json.Marshal(struct {
+		At     time.Time `json:"at"`
+		Reason string    `json:"reason"`
+		Item   Item      `json:"item"`
+	}{time.Now(), reason, it})
+	if err != nil {
+		return
+	}
+	f, err := os.OpenFile(filepath.Join(s.cfg.Dir, deadLetterFile),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		slog.Warn("spool: dead-letter append failed", "err", err)
+		return
+	}
+	_, werr := f.Write(append(line, '\n'))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		slog.Warn("spool: dead-letter append failed", "err", werr)
+	}
+}
+
 // drain is the background delivery loop.
 func (s *Spooler) drain() {
 	defer close(s.dead)
@@ -403,10 +482,10 @@ func (s *Spooler) drain() {
 			}
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.Timeout)
-		err := s.send(ctx, items)
+		res, err := s.send(ctx, items)
 		cancel()
 		if err == nil {
-			s.ack(items)
+			s.ack(items, res)
 			s.mBatches.Inc()
 			backoff = s.cfg.RetryMin
 			continue

@@ -37,17 +37,17 @@ type recorder struct {
 	batches [][]Item
 }
 
-func (r *recorder) send(_ context.Context, items []Item) error {
+func (r *recorder) send(_ context.Context, items []Item) (Result, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.calls++
 	if r.fail {
-		return errors.New("injected send failure")
+		return Result{}, errors.New("injected send failure")
 	}
 	batch := make([]Item, len(items))
 	copy(batch, items)
 	r.batches = append(r.batches, batch)
-	return nil
+	return Result{}, nil
 }
 
 func (r *recorder) setFail(v bool) {
@@ -362,13 +362,77 @@ func TestJournalToleratesTornTail(t *testing.T) {
 // TestConcurrentEnqueueDrain is the -race exercise: many producers
 // enqueue while the drainer delivers through a sender that fails
 // intermittently. Every item must be acknowledged exactly once.
+// TestMalformedDeadLettered pins the applied-vs-malformed distinction:
+// an item the server acknowledges but reports undecodable leaves the
+// queue (it must not retry forever), is counted under the malformed
+// metric rather than sent, and lands in Dir/deadletter.jsonl with its
+// body and the server's reason.
+func TestMalformedDeadLettered(t *testing.T) {
+	dir := t.TempDir()
+	var calls atomic.Int64
+	send := func(_ context.Context, items []Item) (Result, error) {
+		calls.Add(1)
+		var res Result
+		for _, it := range items {
+			if strings.Contains(string(it.Body), "bad") {
+				res.Malformed = append(res.Malformed, ItemError{Key: it.Key, Reason: "decode error: not a row"})
+			}
+		}
+		return res, nil
+	}
+	s, err := New(fastRetry(Config{KeyPrefix: "r1", Dir: dir}), send)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	sentBefore := telemetry.Default.CounterVec("natpeek_spool_sent_total", "", "endpoint").With("/t/dl").Value()
+	malBefore := telemetry.Default.CounterVec("natpeek_spool_malformed_total", "", "endpoint").With("/t/dl").Value()
+
+	s.Enqueue("/t/dl", []byte(`"good-1"`))
+	s.Enqueue("/t/dl", []byte(`"bad-2"`))
+	s.Enqueue("/t/dl", []byte(`"good-3"`))
+	mustFlush(t, s)
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("sender called %d times; malformed items must not be retried", got)
+	}
+	if d := s.Depth(); d != 0 {
+		t.Fatalf("depth %d after flush, want 0", d)
+	}
+	sent := telemetry.Default.CounterVec("natpeek_spool_sent_total", "", "endpoint").With("/t/dl").Value() - sentBefore
+	mal := telemetry.Default.CounterVec("natpeek_spool_malformed_total", "", "endpoint").With("/t/dl").Value() - malBefore
+	if sent != 2 || mal != 1 {
+		t.Fatalf("sent=%d malformed=%d, want 2 and 1", sent, mal)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, deadLetterFile))
+	if err != nil {
+		t.Fatalf("dead-letter file: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("dead-letter lines = %d, want 1:\n%s", len(lines), raw)
+	}
+	var entry struct {
+		Reason string `json:"reason"`
+		Item   Item   `json:"item"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &entry); err != nil {
+		t.Fatal(err)
+	}
+	if entry.Reason != "decode error: not a row" || string(entry.Item.Body) != `"bad-2"` {
+		t.Fatalf("dead-letter entry wrong: %+v", entry)
+	}
+}
+
 func TestConcurrentEnqueueDrain(t *testing.T) {
 	var calls atomic.Int64
 	var mu sync.Mutex
 	delivered := make(map[string]int)
-	send := func(_ context.Context, items []Item) error {
+	send := func(_ context.Context, items []Item) (Result, error) {
 		if calls.Add(1)%7 == 0 {
-			return errors.New("intermittent failure")
+			return Result{}, errors.New("intermittent failure")
 		}
 		mu.Lock()
 		for _, it := range items {
@@ -377,7 +441,7 @@ func TestConcurrentEnqueueDrain(t *testing.T) {
 			delivered[b]++
 		}
 		mu.Unlock()
-		return nil
+		return Result{}, nil
 	}
 	s, err := New(fastRetry(Config{KeyPrefix: "r1", Capacity: 10000, MaxBatch: 16}), send)
 	if err != nil {
@@ -480,21 +544,21 @@ func TestSpoolSurvivesBlackoutViaFaultTransport(t *testing.T) {
 	httpc := &http.Client{Transport: ft}
 	var mu sync.Mutex
 	var sent int
-	send := func(ctx context.Context, items []Item) error {
+	send := func(ctx context.Context, items []Item) (Result, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 			"http://collector.test/v1/batch", strings.NewReader("batch"))
 		if err != nil {
-			return err
+			return Result{}, err
 		}
 		resp, err := httpc.Do(req)
 		if err != nil {
-			return err
+			return Result{}, err
 		}
 		resp.Body.Close()
 		mu.Lock()
 		sent += len(items)
 		mu.Unlock()
-		return nil
+		return Result{}, nil
 	}
 	s, err := New(fastRetry(Config{KeyPrefix: "r1"}), send)
 	if err != nil {

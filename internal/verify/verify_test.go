@@ -4,9 +4,17 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
+
+	"natpeek/internal/dataset"
+	"natpeek/internal/mac"
+	"natpeek/internal/wire"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden snapshots under testdata/golden")
@@ -104,4 +112,47 @@ func snapshotDiff(want, got []byte) string {
 		}
 	}
 	return fmt.Sprintf("lengths differ: want %d lines, got %d", len(w), len(g))
+}
+
+// TestGoldenIdenticalAcrossWireFormats pins the tentpole's core
+// promise: the NPB1 binary batch encoding is a transport detail. A run
+// forced onto legacy JSON and a run left to negotiate binary must
+// produce byte-identical snapshots.
+func TestGoldenIdenticalAcrossWireFormats(t *testing.T) {
+	auto := BuildSnapshot(runOnce(t, 1)).Encode()
+	forced, err := Run(Config{Seed: 1, ForceJSON: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonSnap := BuildSnapshot(forced).Encode()
+	if !bytes.Equal(auto, jsonSnap) {
+		t.Errorf("wire format changed the snapshot:\n%s", snapshotDiff(jsonSnap, auto))
+	}
+}
+
+// TestPrivacyScannerSeesThroughBinary guards the scanner itself: a MAC
+// address that ships inside an NPB1 body as 6 raw bytes — invisible to
+// a textual grep of the wire bytes — must still be caught once the
+// scanner decodes the batch.
+func TestPrivacyScannerSeesThroughBinary(t *testing.T) {
+	hw := mac.MustParse("00:1c:b3:09:0a:0b")
+	body := wire.AppendBatch(nil, []wire.Item{{
+		Endpoint: "/v1/devices", Key: "leak-1",
+		Payload: wire.Payload{Kind: wire.KindDevices,
+			Count: dataset.DeviceCount{RouterID: "r", At: time.Date(2013, 4, 1, 0, 0, 0, 0, time.UTC)},
+			Sightings: []dataset.DeviceSighting{{RouterID: "r",
+				At: time.Date(2013, 4, 1, 0, 0, 0, 0, time.UTC), Device: hw}}},
+	}})
+	if bytes.Contains(bytes.ToLower(body), []byte(hw.String())) {
+		t.Fatal("test premise broken: the MAC is textual on the binary wire")
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/batch", bytes.NewReader(body))
+	req.Header.Set("Content-Type", wire.ContentTypeBinary)
+	text, err := scanText(req, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.ToLower(text), hw.String()) {
+		t.Fatalf("decoded scan text misses the MAC:\n%s", text)
+	}
 }

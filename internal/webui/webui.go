@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"html/template"
+	"io"
 	"net"
 	"net/http"
 	"sort"
@@ -166,8 +167,16 @@ func (s *Server) handleWhitelistAdd(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "whitelist disabled", http.StatusNotFound)
 		return
 	}
+	// Read-then-Unmarshal, not NewDecoder.Decode: a streaming decode
+	// stops at the first JSON value and would silently accept a body
+	// with trailing bytes.
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	var req whitelistReq
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}

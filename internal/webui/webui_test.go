@@ -120,7 +120,11 @@ func TestWhitelistEndpoints(t *testing.T) {
 func TestWhitelistRejectsBadDomains(t *testing.T) {
 	wl := NewWhitelist()
 	s := startServer(t, Config{AddWhitelist: wl.Add})
-	for _, body := range []string{`{"domain":""}`, `{"domain":"nodots"}`, `{"domain":"bad domain.example"}`, `not-json`} {
+	// The last case is the trailing-garbage regression: the old
+	// json.NewDecoder(r.Body).Decode stopped after the first JSON value
+	// and accepted whatever followed it.
+	for _, body := range []string{`{"domain":""}`, `{"domain":"nodots"}`, `{"domain":"bad domain.example"}`, `not-json`,
+		`{"domain":"ok.example"}{"domain":"smuggled.example"}`} {
 		resp, err := http.Post("http://"+s.Addr()+"/api/whitelist", "application/json", strings.NewReader(body))
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,37 @@
+package wire
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestWriteSeedCorpus regenerates the checked-in fuzz seed corpus from
+// the canonical encoder, so the seeds track format changes instead of
+// rotting. Run with WIRE_WRITE_CORPUS=1 after changing the encoding.
+func TestWriteSeedCorpus(t *testing.T) {
+	if os.Getenv("WIRE_WRITE_CORPUS") == "" {
+		t.Skip("set WIRE_WRITE_CORPUS=1 to regenerate testdata/fuzz seeds")
+	}
+	full := AppendBatch(nil, sampleItems())
+	seeds := map[string][]byte{
+		"empty-batch":      AppendBatch(nil, nil),
+		"full-batch":       full,
+		"single-item":      AppendBatch(nil, sampleItems()[:1]),
+		"traced-item":      AppendBatch(nil, sampleItems()[:1]),
+		"truncated":        full[:len(full)*2/3],
+		"trailing-garbage": append(append([]byte(nil), full...), 0xde, 0xad),
+		"bad-magic":        []byte("JSON{}"),
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzWireDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, b := range seeds {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(b)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package wire is the compact binary batch encoding for the upload
+// pipeline ("NPB1"). JSON got the platform to correctness; at fleet
+// scale the collector's ingest path is decode- and alloc-bound, and the
+// paper's own platform shipped compact reports from resource-starved
+// home routers for the same reason. This package encodes the exact
+// payloads /v1/batch carries — idempotency keys, trace spans, and the
+// typed measurement rows of every /v1/* endpoint — several times
+// smaller and an order of magnitude cheaper to decode than the JSON
+// envelope.
+//
+// Format (all integers varint-encoded unless noted):
+//
+//	magic "NPB1"
+//	uvarint item count
+//	per item:
+//	  uvarint meta            — bits 0..2 payload kind, bit 3 "has trace"
+//	  stringRef endpoint      — KindRaw only (typed kinds imply theirs)
+//	  string    key           — idempotency key, verbatim bytes
+//	  trace                   — if bit 3: stringRef router, uvarint span
+//	                            count, then per span stringRef name,
+//	                            stringRef status, time start, time end,
+//	                            uvarint attr count, per attr stringRef
+//	                            key, stringRef value
+//	  payload                 — per-kind row fields (see encode.go)
+//
+// Strings come in two shapes. A plain `string` is a uvarint length plus
+// raw bytes. A `stringRef` is the inline dictionary: uvarint 0 means "a
+// literal string follows; assign it the next dictionary index", any
+// other value v means dictionary entry v-1. Router IDs, endpoints,
+// domains, protocol names, bands, directions, span names/statuses, and
+// attr keys/values are all dictionary-coded, so a batch carries each
+// distinct string once.
+//
+// Timestamps share one delta chain across the whole batch: each time is
+// the zigzag varint of its UnixNano minus the previous encoded time's
+// (wrapping two's-complement arithmetic, so any in-range instant
+// round-trips exactly). The zero time.Time is the sentinel absolute
+// value math.MinInt64 and does not advance the chain — open trace spans
+// (zero End) survive the trip byte-for-byte. Durations and counters are
+// zigzag varints; floats are 8-byte little-endian IEEE 754; MAC
+// addresses are their 6 raw (already anonymized) bytes.
+//
+// Compatibility: the encoding is negotiated, never assumed. Requests
+// carry Content-Type ContentTypeBinary; the collector advertises
+// support via an "Accept-Post" response header and keeps serving JSON
+// clients unchanged. Unknown endpoints ride inside the envelope as
+// KindRaw with their JSON body verbatim, so the binary path never has
+// to reject what the JSON path would have accepted.
+package wire
+
+import (
+	"encoding/json"
+	"time"
+
+	"natpeek/internal/dataset"
+	"natpeek/internal/trace"
+)
+
+// ContentTypeBinary is the negotiated media type for NPB1-encoded batch
+// requests. Anything else on /v1/batch is treated as JSON.
+const ContentTypeBinary = "application/x-natpeek-batch"
+
+// magic starts every NPB1 buffer ("natpeek binary, version 1").
+const magic = "NPB1"
+
+// Kind identifies a payload's row schema inside the binary envelope.
+type Kind uint8
+
+// Payload kinds. KindRaw carries a verbatim JSON body for endpoints the
+// encoder has no schema for (registration, future endpoints); the
+// decoder hands it to the same JSON applier the plain path uses.
+const (
+	KindRaw Kind = iota
+	KindUptime
+	KindCapacity
+	KindDevices
+	KindWiFi
+	KindFlows
+	KindThroughput
+
+	kindMax = KindThroughput
+)
+
+// KindFor maps an upload endpoint to its typed payload kind (KindRaw
+// for endpoints without a binary schema).
+func KindFor(endpoint string) Kind {
+	switch endpoint {
+	case "/v1/uptime":
+		return KindUptime
+	case "/v1/capacity":
+		return KindCapacity
+	case "/v1/devices":
+		return KindDevices
+	case "/v1/wifi":
+		return KindWiFi
+	case "/v1/traffic/flows":
+		return KindFlows
+	case "/v1/traffic/throughput":
+		return KindThroughput
+	}
+	return KindRaw
+}
+
+// Endpoint returns the upload endpoint a typed kind serves ("" for
+// KindRaw, whose endpoint is carried explicitly).
+func (k Kind) Endpoint() string {
+	switch k {
+	case KindUptime:
+		return "/v1/uptime"
+	case KindCapacity:
+		return "/v1/capacity"
+	case KindDevices:
+		return "/v1/devices"
+	case KindWiFi:
+		return "/v1/wifi"
+	case KindFlows:
+		return "/v1/traffic/flows"
+	case KindThroughput:
+		return "/v1/traffic/throughput"
+	}
+	return ""
+}
+
+// Item is one batch entry: the binary equivalent of the JSON
+// /v1/batch item (endpoint, idempotency key, payload, client trace).
+type Item struct {
+	Endpoint string
+	Key      string
+	Payload  Payload
+	// Trace carries the client-side spans. The trace ID itself is not
+	// shipped — the collector derives it from the idempotency key and
+	// never trusts the wire — so decoded Wires have an empty TraceID.
+	Trace *trace.Wire
+}
+
+// Census mirrors the /v1/devices JSON payload: one count row plus the
+// per-device sightings recorded with it.
+type Census struct {
+	Count     dataset.DeviceCount      `json:"count"`
+	Sightings []dataset.DeviceSighting `json:"sightings"`
+}
+
+// Payload is one item's measurement rows, discriminated by Kind. Only
+// the fields for the active kind are meaningful. Slices produced by a
+// Decoder are scratch storage owned by the decoder — valid until the
+// next Next or Reset call — and Raw aliases the decoder's input buffer;
+// consumers must copy anything they retain (the collector's store
+// appends copy rows synchronously under the shard lock, so the ingest
+// path needs no extra copies).
+type Payload struct {
+	Kind Kind
+
+	Raw        []byte // KindRaw: verbatim JSON body
+	Uptime     dataset.UptimeReport
+	Capacity   dataset.CapacityMeasure
+	Count      dataset.DeviceCount
+	Sightings  []dataset.DeviceSighting
+	WiFi       []dataset.WiFiScan
+	Flows      []dataset.FlowRecord
+	Throughput []dataset.ThroughputSample
+}
+
+// Router returns the payload's shard-routing router ID, matching the
+// JSON appliers exactly: the census count's router, or the first row's
+// for slice payloads (empty slices route to the empty-ID shard).
+func (p *Payload) Router() string {
+	switch p.Kind {
+	case KindUptime:
+		return p.Uptime.RouterID
+	case KindCapacity:
+		return p.Capacity.RouterID
+	case KindDevices:
+		return p.Count.RouterID
+	case KindWiFi:
+		if len(p.WiFi) > 0 {
+			return p.WiFi[0].RouterID
+		}
+	case KindFlows:
+		if len(p.Flows) > 0 {
+			return p.Flows[0].RouterID
+		}
+	case KindThroughput:
+		if len(p.Throughput) > 0 {
+			return p.Throughput[0].RouterID
+		}
+	}
+	return ""
+}
+
+// Rows counts the dataset rows the payload carries (0 for KindRaw,
+// whose rows are only known after JSON decode).
+func (p *Payload) Rows() int {
+	switch p.Kind {
+	case KindUptime, KindCapacity:
+		return 1
+	case KindDevices:
+		return 1 + len(p.Sightings)
+	case KindWiFi:
+		return len(p.WiFi)
+	case KindFlows:
+		return len(p.Flows)
+	case KindThroughput:
+		return len(p.Throughput)
+	}
+	return 0
+}
+
+// JSONBody renders the payload as the JSON body the plain /v1/* path
+// would have carried — the bridge for privacy scanners, journaling, and
+// equivalence tests. KindRaw returns its bytes verbatim.
+func (p *Payload) JSONBody() ([]byte, error) {
+	switch p.Kind {
+	case KindUptime:
+		return json.Marshal(p.Uptime)
+	case KindCapacity:
+		return json.Marshal(p.Capacity)
+	case KindDevices:
+		return json.Marshal(Census{Count: p.Count, Sightings: p.Sightings})
+	case KindWiFi:
+		return json.Marshal(p.WiFi)
+	case KindFlows:
+		return json.Marshal(p.Flows)
+	case KindThroughput:
+		return json.Marshal(p.Throughput)
+	}
+	return p.Raw, nil
+}
+
+// PayloadFromJSON transcodes one endpoint's JSON body into a typed
+// payload. Anything that does not decode cleanly — an unknown endpoint,
+// a malformed body, or a timestamp outside the safely delta-encodable
+// range — falls back to KindRaw with the body verbatim, so the server's
+// accept/reject behaviour is byte-for-byte the JSON path's.
+func PayloadFromJSON(endpoint string, body []byte) Payload {
+	switch KindFor(endpoint) {
+	case KindUptime:
+		var v dataset.UptimeReport
+		if json.Unmarshal(body, &v) == nil && timeEncodable(v.ReportedAt) {
+			return Payload{Kind: KindUptime, Uptime: v}
+		}
+	case KindCapacity:
+		var v dataset.CapacityMeasure
+		if json.Unmarshal(body, &v) == nil && timeEncodable(v.MeasuredAt) {
+			return Payload{Kind: KindCapacity, Capacity: v}
+		}
+	case KindDevices:
+		var v Census
+		if json.Unmarshal(body, &v) == nil && timeEncodable(v.Count.At) && timesOK(v.Sightings, func(s dataset.DeviceSighting) time.Time { return s.At }) {
+			return Payload{Kind: KindDevices, Count: v.Count, Sightings: v.Sightings}
+		}
+	case KindWiFi:
+		var v []dataset.WiFiScan
+		if json.Unmarshal(body, &v) == nil && timesOK(v, func(s dataset.WiFiScan) time.Time { return s.At }) {
+			return Payload{Kind: KindWiFi, WiFi: v}
+		}
+	case KindFlows:
+		var v []dataset.FlowRecord
+		if json.Unmarshal(body, &v) == nil &&
+			timesOK(v, func(f dataset.FlowRecord) time.Time { return f.First }) &&
+			timesOK(v, func(f dataset.FlowRecord) time.Time { return f.Last }) {
+			return Payload{Kind: KindFlows, Flows: v}
+		}
+	case KindThroughput:
+		var v []dataset.ThroughputSample
+		if json.Unmarshal(body, &v) == nil && timesOK(v, func(s dataset.ThroughputSample) time.Time { return s.Minute }) {
+			return Payload{Kind: KindThroughput, Throughput: v}
+		}
+	}
+	return Payload{Kind: KindRaw, Raw: body}
+}
+
+// timeEncodable bounds the timestamps the typed encoding accepts. The
+// delta chain round-trips any pair of instants whose UnixNano values
+// exist and whose difference is not exactly the zero-time sentinel;
+// confining typed rows to two centuries around the epoch (the study is
+// 2012–2013, live clocks are "now") makes both impossible, and anything
+// weirder ships as KindRaw JSON instead.
+func timeEncodable(t time.Time) bool {
+	if t.IsZero() {
+		return true
+	}
+	y := t.Year()
+	return y >= 1900 && y <= 2100
+}
+
+func timesOK[T any](rows []T, at func(T) time.Time) bool {
+	for _, r := range rows {
+		if !timeEncodable(at(r)) {
+			return false
+		}
+	}
+	return true
+}
