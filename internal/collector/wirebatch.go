@@ -38,6 +38,13 @@ func putBody(bb *bodyBuf) { bodyPool.Put(bb) }
 // size hint (Content-Length) so a right-sized request reads without any
 // growth copies.
 func readAllInto(dst []byte, r io.Reader, sizeHint int64) ([]byte, error) {
+	// The hint is attacker-controlled (a Content-Length header nobody
+	// has read a byte against yet): clamp it to the upload cap before it
+	// becomes allocation capacity, so a forged multi-GiB header cannot
+	// drive a huge make() that MaxBytesReader would never let fill.
+	if sizeHint > maxUploadBytes+1 {
+		sizeHint = maxUploadBytes + 1
+	}
 	if n := int(sizeHint); n > 0 && int64(n) == sizeHint && cap(dst) < n+1 {
 		dst = append(make([]byte, 0, n+1), dst...)
 	}

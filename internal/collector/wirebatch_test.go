@@ -146,6 +146,25 @@ func TestGzipBombGets413(t *testing.T) {
 	}
 }
 
+// TestReadAllIntoClampsForgedSizeHint is the regression for sizing the
+// pooled body buffer straight from Content-Length: the header is
+// attacker-controlled and nobody has read a byte against it yet, so a
+// forged multi-GiB value must not become allocation capacity — across
+// 256 admitted requests that pre-allocation alone could exhaust memory
+// before MaxBytesReader ever rejected the bodies.
+func TestReadAllIntoClampsForgedSizeHint(t *testing.T) {
+	buf, err := readAllInto(nil, strings.NewReader("tiny body"), 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "tiny body" {
+		t.Fatalf("read %q, want %q", buf, "tiny body")
+	}
+	if cap(buf) > maxUploadBytes+2 {
+		t.Fatalf("forged 1 TiB size hint grew the buffer to cap %d, want ≤ %d", cap(buf), maxUploadBytes+2)
+	}
+}
+
 // TestBatchReportsMalformedItems pins satellite 3: undecodable items are
 // acknowledged (2xx, not retried) but reported per item in
 // BatchResult.Failed, and the client's sendBatch surfaces them as the

@@ -144,15 +144,21 @@ func (d *Decoder) decodeTrace(it *Item) error {
 		if na > 0 {
 			// Attrs are freshly allocated, never scratch: span slices are
 			// copied into traces the recorder retains long after this
-			// batch's buffers are reused, and that copy is shallow.
-			attrs := make([]trace.Attr, na)
-			for j := range attrs {
-				if attrs[j].K, err = d.ref(); err != nil {
+			// batch's buffers are reused, and that copy is shallow. Grown
+			// incrementally rather than sized from na — count() only
+			// guarantees one input byte per element, so an up-front make
+			// would hand a forged count ~32x amplification before the
+			// decode failed.
+			attrs := make([]trace.Attr, 0, min(na, 8))
+			for j := 0; j < na; j++ {
+				var a trace.Attr
+				if a.K, err = d.ref(); err != nil {
 					return err
 				}
-				if attrs[j].V, err = d.ref(); err != nil {
+				if a.V, err = d.ref(); err != nil {
 					return err
 				}
+				attrs = append(attrs, a)
 			}
 			sp.Attrs = attrs
 		}

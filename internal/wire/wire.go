@@ -36,7 +36,10 @@
 // (wrapping two's-complement arithmetic, so any in-range instant
 // round-trips exactly). The zero time.Time is the sentinel absolute
 // value math.MinInt64 and does not advance the chain — open trace spans
-// (zero End) survive the trip byte-for-byte. Durations and counters are
+// (zero End) survive the trip byte-for-byte. A non-zero instant whose
+// delta would collide with the sentinel (possible only for span times
+// from absurd client clocks; payload times are range-checked) is nudged
+// forward 1 ns instead of desynchronizing the chain. Durations and counters are
 // zigzag varints; floats are 8-byte little-endian IEEE 754; MAC
 // addresses are their 6 raw (already anonymized) bytes.
 //
