@@ -1,10 +1,11 @@
 # Tier-1 verification plus the race/bench targets the telemetry PR added.
 #
-#   make check        # vet + build + tests with -race + verify + load gates
-#   make check-verify # golden runs, conservation invariants, parser fuzzing
-#   make check-load   # sharded-store stress + admission + loadgen soaks, -race
-#   make bench        # regression benchmark suite -> BENCH_7.json
-#   make bench-paper  # full reproduction driver (tables/figures + ablations)
+#   make check         # vet + build + tests with -race + verify + load + cluster gates
+#   make check-verify  # golden runs, conservation invariants, parser fuzzing
+#   make check-load    # sharded-store stress + admission + loadgen soaks, -race
+#   make check-cluster # multi-node routing/replication/failover + chaos soak, -race
+#   make bench         # regression benchmark suite -> BENCH_8.json
+#   make bench-paper   # full reproduction driver (tables/figures + ablations)
 
 GO ?= go
 
@@ -15,9 +16,9 @@ FUZZTIME ?= 10s
 BENCHTIME ?= 300ms
 
 .PHONY: check vet build test race bench bench-paper bench-telemetry \
-	check-reliability check-verify check-load fuzz-seeds
+	check-reliability check-verify check-load check-cluster fuzz-seeds
 
-check: vet build race check-verify check-load
+check: vet build race check-verify check-load check-cluster
 
 vet:
 	$(GO) vet ./...
@@ -32,13 +33,17 @@ race:
 	$(GO) test -race ./...
 
 # The scale-regression suite. Fixed -benchtime keeps runs comparable;
-# bench-report turns the text output into BENCH_7.json (per-benchmark
-# metrics plus the sharded-vs-single-lock append speedup — read it with
-# num_cpu in mind: the speedup only materialises on multi-core hosts).
-# BenchmarkIngestBatchTraced rides the same regex and tracks the tracing
-# on/off delta on the ingest hot path (budget: <5% median overhead),
-# and BenchmarkIngestBatchWire compares the NPB1 binary batch encoding
-# against JSON (targets: >= 5x rows/s/core, >= 10x fewer allocs/batch).
+# bench-report turns the text output into BENCH_8.json (per-benchmark
+# metrics plus the derived ratios — read them with num_cpu in mind: the
+# JSON carries explanatory notes whenever the runner's CPU count shapes
+# a ratio, e.g. the sharded-append speedup only materialises on
+# multi-core hosts). BenchmarkIngestBatchTraced rides the same regex and
+# tracks the tracing on/off delta on the ingest hot path (budget: <5%
+# median overhead); BenchmarkIngestBatchWire compares the NPB1 binary
+# batch encoding against JSON (targets: >= 5x rows/s/core, >= 10x fewer
+# allocs/batch); the cluster trio prices the front tier — routing +
+# replication overhead per batch (cluster_front_route_overhead_r{1,2})
+# and failover handoff throughput (cluster_handoff_rows_per_sec).
 bench:
 	{ \
 	  $(GO) test -run='^$$' -bench='BenchmarkStoreAppend|BenchmarkDedupeMark|BenchmarkStoreSave|BenchmarkShardedMerge' \
@@ -46,8 +51,10 @@ bench:
 	  $(GO) test -run='^$$' -bench='BenchmarkIngestBatch' -benchtime=$(BENCHTIME) -benchmem ./internal/collector/ && \
 	  $(GO) test -run='^$$' -bench='BenchmarkSpoolDrain' -benchtime=$(BENCHTIME) -benchmem ./internal/spool/ && \
 	  $(GO) test -run='^$$' -bench='BenchmarkWorldRunHome' -benchtime=$(BENCHTIME) -benchmem ./internal/world/ && \
-	  $(GO) test -run='^$$' -bench='BenchmarkLoadgenEndToEnd' -benchtime=$(BENCHTIME) -benchmem ./internal/loadgen/ ; \
-	} | $(GO) run ./cmd/bench-report -pr 7 -out BENCH_7.json
+	  $(GO) test -run='^$$' -bench='BenchmarkLoadgenEndToEnd' -benchtime=$(BENCHTIME) -benchmem ./internal/loadgen/ && \
+	  $(GO) test -run='^$$' -bench='BenchmarkRingLookup|BenchmarkFrontRouteBatch|BenchmarkHandoffReplay' \
+	    -benchtime=$(BENCHTIME) -benchmem ./internal/cluster/ ; \
+	} | $(GO) run ./cmd/bench-report -pr 8 -out BENCH_8.json
 
 # The full paper-reproduction driver (tables/figures + ablations).
 bench-paper:
@@ -103,6 +110,19 @@ check-load:
 	$(GO) test -race ./internal/loadgen/
 	$(GO) test -race -run 'TestScale' ./internal/analysis/
 
+# The cluster gate, under the race detector:
+#   1. the multi-node suite — consistent-hash routing spread, retry
+#      dedupe through the front, JSON/direct endpoint proxying,
+#      journal-replay failover, and rejoin manifest seeding;
+#   2. the chaos soak — a 3-node cluster under a live loadgen fleet
+#      with one node killed mid-run and rejoined, gated on zero lost
+#      and zero duplicated rows;
+#   3. a short fuzz shake-out of the NPC1 control-plane codec on top of
+#      its checked-in seed corpus.
+check-cluster:
+	$(GO) test -race ./internal/cluster/
+	$(GO) test -run='^$$' -fuzz='FuzzControlDecode' -fuzztime=$(FUZZTIME) ./internal/cluster/
+
 # Replay the checked-in fuzz corpora as plain unit tests (fast, -race).
 fuzz-seeds:
-	$(GO) test -race -run 'Fuzz' ./internal/dns/ ./internal/pcap/ ./internal/packet/ ./internal/spool/ ./internal/collector/ ./internal/wire/
+	$(GO) test -race -run 'Fuzz' ./internal/dns/ ./internal/pcap/ ./internal/packet/ ./internal/spool/ ./internal/collector/ ./internal/wire/ ./internal/cluster/

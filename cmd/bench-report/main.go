@@ -50,6 +50,10 @@ type report struct {
 	GOMAXPROCS int                `json:"gomaxprocs"`
 	Benchmarks []benchmark        `json:"benchmarks"`
 	Derived    map[string]float64 `json:"derived,omitempty"`
+	// Notes spell out how num_cpu shapes the derived ratios, so a
+	// reader of the JSON alone cannot misread a 1-CPU run as a
+	// parallelism regression.
+	Notes []string `json:"notes,omitempty"`
 }
 
 func main() {
@@ -175,5 +179,32 @@ func derive(rep *report) {
 	binAllocs := metric("BenchmarkIngestBatchWire/format=binary", "allocs/op")
 	if jsonAllocs > 0 && binAllocs > 0 {
 		rep.Derived["binary_ingest_alloc_ratio"] = jsonAllocs / binAllocs
+	}
+	// Cluster front tier (PR 8): what the routing hop and write
+	// replication cost per batch relative to POSTing the same NPB1
+	// bytes straight at one node, plus the failover handoff ceiling.
+	direct := nsop("BenchmarkFrontRouteBatch/path=direct")
+	for _, r := range []int{1, 2} {
+		front := nsop(fmt.Sprintf("BenchmarkFrontRouteBatch/path=front-r%d", r))
+		if direct > 0 && front > 0 {
+			rep.Derived[fmt.Sprintf("cluster_front_route_overhead_r%d", r)] = front / direct
+		}
+	}
+	if rows := metric("BenchmarkHandoffReplay", "rows/s"); rows > 0 {
+		rep.Derived["cluster_handoff_rows_per_sec"] = rows
+	}
+
+	if rep.NumCPU == 1 {
+		if _, ok := rep.Derived["sharded_append_speedup_8_goroutines"]; ok {
+			rep.Notes = append(rep.Notes,
+				"num_cpu=1: sharded_append_speedup_* has no parallelism to harvest on this runner; ~1x here is expected and >=2x holds on multi-core collectors")
+		}
+		if _, ok := rep.Derived["cluster_front_route_overhead_r1"]; ok {
+			rep.Notes = append(rep.Notes,
+				"num_cpu=1: cluster_front_route_overhead_* overstates the front hop — the front, all nodes, and the client share one CPU, so the cluster's whole point (N cores ingesting in parallel) cannot show here")
+		}
+	} else if _, ok := rep.Derived["cluster_front_route_overhead_r1"]; ok {
+		rep.Notes = append(rep.Notes,
+			fmt.Sprintf("cluster_front_route_overhead_* measured with front + 3 nodes + client sharing %d CPUs; it prices the extra hop and replication, not cluster-wide ingest capacity (which scales with nodes x cores)", rep.NumCPU))
 	}
 }

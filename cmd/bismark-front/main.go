@@ -1,0 +1,109 @@
+// bismark-front runs the client-facing tier of a collector cluster. It
+// speaks the exact same UDP heartbeat + HTTP /v1/* API as a single
+// bismark-server — deployed clients cannot tell the difference — and
+// routes every upload by router-ID consistent hash to its owning
+// collector node, replicating each acknowledged write to R-1 successor
+// journals before acking.
+//
+// Point -peers at the control-plane (-ctrl) addresses of one or more
+// cluster nodes (bismark-server -cluster); membership gossip discovers
+// the rest. Run several fronts against the same node set for client-side
+// load spreading — fronts are stateless apart from the heartbeat log.
+//
+// Usage:
+//
+//	bismark-front -udp 127.0.0.1:8077 -http 127.0.0.1:8080 \
+//	    -ctrl 127.0.0.1:9080 -peers 127.0.0.1:9090,127.0.0.1:9091 -replication 2
+package main
+
+import (
+	"flag"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"natpeek/internal/cluster"
+	"natpeek/internal/telemetry"
+)
+
+func main() {
+	id := flag.String("id", "front-0", "this front's identity in membership gossip")
+	udp := flag.String("udp", "127.0.0.1:8077", "UDP address for heartbeats (terminate at the front)")
+	httpAddr := flag.String("http", "127.0.0.1:8080", "HTTP address for the client-facing /v1/* API")
+	ctrlAddr := flag.String("ctrl", "127.0.0.1:9080", "control-plane HTTP address (membership gossip)")
+	peers := flag.String("peers", "", "comma-separated control-plane addresses of cluster nodes")
+	replication := flag.Int("replication", cluster.DefaultReplication, "write replication factor R: owner + R-1 successor journals per acknowledged write, clamped to the live node count")
+	maxInflight := flag.Int("max-inflight", 0, "cap on concurrent data-plane requests (429 + Retry-After beyond it); 0 for the collector default")
+	statsEvery := flag.Duration("stats-every", 30*time.Second, "how often to log cluster membership and heartbeat progress")
+	flag.Parse()
+
+	log := telemetry.SetupLogger("bismark-front")
+
+	var seedPeers []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			seedPeers = append(seedPeers, p)
+		}
+	}
+	if len(seedPeers) == 0 {
+		log.Error("no -peers given: a front needs at least one cluster node's -ctrl address")
+		os.Exit(1)
+	}
+
+	front, err := cluster.NewFront(cluster.FrontConfig{
+		ID:      *id,
+		UDPAddr: *udp, HTTPAddr: *httpAddr, CtrlAddr: *ctrlAddr,
+		Peers:       seedPeers,
+		Replication: *replication,
+		MaxInflight: *maxInflight,
+	})
+	if err != nil {
+		log.Error("start failed", "err", err)
+		os.Exit(1)
+	}
+	log.Info("front listening",
+		"front", *id,
+		"heartbeats", "udp://"+front.UDPAddr(),
+		"uploads", "http://"+front.HTTPAddr(),
+		"stats", "http://"+front.HTTPAddr()+"/v1/stats",
+		"members", "http://"+front.HTTPAddr()+"/cluster/members",
+		"traces", "http://"+front.HTTPAddr()+"/debug/traces",
+		"control", "http://"+front.CtrlAddr(),
+		"replication", *replication)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*statsEvery)
+	defer ticker.Stop()
+
+	for {
+		select {
+		case <-ticker.C:
+			alive, dead := 0, 0
+			for _, mv := range front.View() {
+				if mv.Role != cluster.RoleNode {
+					continue
+				}
+				if mv.State == cluster.StateAlive {
+					alive++
+				} else {
+					dead++
+				}
+			}
+			beats := 0
+			hb := front.Heartbeats()
+			for _, rid := range hb.Routers() {
+				beats += hb.Count(rid)
+			}
+			log.Info("cluster progress", "nodes_alive", alive, "nodes_down", dead, "heartbeats", beats)
+		case <-stop:
+			log.Info("shutting down")
+			if err := front.Close(); err != nil {
+				log.Warn("close", "err", err)
+			}
+			return
+		}
+	}
+}

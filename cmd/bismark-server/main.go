@@ -7,18 +7,27 @@
 // and the pprof handlers under /debug/pprof/. Logging is structured
 // (slog); tune with NATPEEK_LOG_LEVEL / NATPEEK_LOG_FORMAT.
 //
+// Cluster mode: -cluster runs this process as one node of a collector
+// cluster — the same data plane, plus a control-plane listener for
+// membership gossip, write replication journals, and failover replay.
+// Point one or more bismark-front processes at the node's -ctrl address
+// and clients at the fronts.
+//
 // Usage:
 //
 //	bismark-server -udp 127.0.0.1:8077 -http 127.0.0.1:8080 -out ./live-data
+//	bismark-server -cluster -node-id node-0 -ctrl 127.0.0.1:9090 -peers 127.0.0.1:9091,127.0.0.1:9092
 package main
 
 import (
 	"flag"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"natpeek/internal/cluster"
 	"natpeek/internal/collector"
 	"natpeek/internal/dataset"
 	"natpeek/internal/telemetry"
@@ -34,11 +43,54 @@ func main() {
 	traceSample := flag.Float64("trace-sample", 0.05, "tail-sampling keep probability for healthy traces (error, throttled, and slow traces are always kept)")
 	traceSlow := flag.Duration("trace-slow", 500*time.Millisecond, "traces at least this slow are always kept")
 	noBinary := flag.Bool("no-binary", false, "stop advertising the NPB1 binary batch encoding (clients fall back to JSON; binary uploads are still accepted)")
+	clusterMode := flag.Bool("cluster", false, "run as a cluster node: serve the control plane on -ctrl, gossip with -peers, journal replicated writes, and replay them on peer failure")
+	nodeID := flag.String("node-id", "node-0", "cluster mode: this node's stable hash-ring identity")
+	ctrlAddr := flag.String("ctrl", "127.0.0.1:9090", "cluster mode: control-plane HTTP address (gossip, replicate, manifest)")
+	peers := flag.String("peers", "", "cluster mode: comma-separated control-plane addresses of existing members (empty for the first node)")
 	flag.Parse()
 
 	log := telemetry.SetupLogger("bismark-server")
 
 	store := dataset.NewSharded(0)
+
+	if *clusterMode {
+		var seedPeers []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				seedPeers = append(seedPeers, p)
+			}
+		}
+		node, err := cluster.NewNode(cluster.NodeConfig{
+			ID:      *nodeID,
+			UDPAddr: *udp, HTTPAddr: *httpAddr, CtrlAddr: *ctrlAddr,
+			Peers: seedPeers, Store: store,
+		})
+		if err != nil {
+			log.Error("cluster node start failed", "err", err)
+			os.Exit(1)
+		}
+		node.Collector().SetTraceSampling(*traceSample, *traceSlow)
+		log.Info("cluster node listening",
+			"node", *nodeID,
+			"heartbeats", "udp://"+node.UDPAddr(),
+			"uploads", "http://"+node.DataAddr(),
+			"control", "http://"+node.CtrlAddr(),
+			"members", "http://"+node.CtrlAddr()+"/cluster/members")
+
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+		<-stop
+		log.Info("shutting down", "out", *out)
+		if err := node.Close(); err != nil {
+			log.Warn("close", "err", err)
+		}
+		if err := store.Save(*out); err != nil {
+			log.Error("save failed", "err", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	srv, err := collector.NewServer(*udp, *httpAddr, store)
 	if err != nil {
 		log.Error("start failed", "err", err)

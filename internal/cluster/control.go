@@ -1,0 +1,382 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The control plane speaks a small binary protocol ("NPC1") over plain
+// HTTP POSTs between peers: membership gossip, the key manifests a
+// rejoining node pulls to rebuild its dedupe index, and the replicate
+// frames the front fans out to a write's successor nodes. Like NPB1 it
+// is length-prefixed varint framing with a bounds-checked decoder —
+// counts and lengths are validated against the remaining input before a
+// single byte of them is allocated, and trailing bytes after a complete
+// message are an error, never silently ignored. The codec is fuzzed
+// (FuzzControlDecode) with checked-in seed corpora.
+
+// ctrlMagic starts every NPC1 buffer ("natpeek control, version 1").
+const ctrlMagic = "NPC1"
+
+// MsgKind discriminates the control-plane message envelope.
+type MsgKind uint8
+
+// Control-plane message kinds.
+const (
+	MsgGossip MsgKind = iota + 1
+	MsgManifestRequest
+	MsgManifestResponse
+	MsgReplicate
+
+	msgKindMax = MsgReplicate
+)
+
+// Role distinguishes ring-eligible collector nodes from front routers.
+type Role uint8
+
+// Member roles. Only RoleNode members project points onto the hash
+// ring; RoleFront members gossip so nodes know their routers, but own
+// nothing.
+const (
+	RoleNode Role = iota
+	RoleFront
+)
+
+func (r Role) String() string {
+	if r == RoleFront {
+		return "front"
+	}
+	return "node"
+}
+
+// Member is one process's gossiped identity. State is deliberately NOT
+// part of the wire form: each process judges liveness locally from how
+// recently a member's Beat advanced, so a partitioned peer's stale
+// opinion can never declare a node dead cluster-wide.
+type Member struct {
+	ID       string
+	Role     Role
+	CtrlAddr string // control-plane HTTP address (gossip, replicate, manifest)
+	DataAddr string // data-plane address (collector /v1/* for nodes, front HTTP for fronts)
+	// Incarnation is bumped each time the process (re)starts — a
+	// rejoining node's fresh incarnation supersedes everything peers
+	// remember about its previous life, including its old addresses.
+	Incarnation uint64
+	// Beat is the member's self-incremented heartbeat counter; liveness
+	// is "has this advanced recently, as observed by MY clock".
+	Beat uint64
+}
+
+// Gossip is one half of an anti-entropy exchange: the full membership
+// the sender knows. The receiver merges it and answers with its own.
+// Full-state exchange is quadratic in members but the tier is tens of
+// processes, not thousands; delta gossip is a non-goal at this scale.
+type Gossip struct {
+	From    string
+	Members []Member
+}
+
+// ManifestRequest asks a peer for applied idempotency keys. With
+// Routers empty it is the join-time bulk pull: keys the peer applied
+// for every router the joiner would own under the prospective
+// membership. With Routers set it is a targeted query — keys for
+// exactly those routers, regardless of ring ownership — used by the
+// first-write gate to catch writes applied elsewhere during an
+// ownership change.
+type ManifestRequest struct {
+	Joiner  string
+	Members []Member
+	Routers []string
+}
+
+// ManifestEntry is one router's applied keys.
+type ManifestEntry struct {
+	Router string
+	Keys   []string
+}
+
+// ManifestResponse is the answering peer's applied-key manifest.
+type ManifestResponse struct {
+	From    string
+	Entries []ManifestEntry
+}
+
+// Replicate carries one acknowledged write to a successor node: the
+// placement that chose it plus the raw NPB1 batch bytes, journaled
+// verbatim. The successor never decodes rows — if the owner dies, the
+// first live successor replays the bytes as a plain /v1/batch POST and
+// the idempotency keys inside make the replay converge.
+type Replicate struct {
+	Owner      string
+	Successors []string
+	Batch      []byte
+}
+
+// Message is the decoded one-of envelope; exactly the field matching
+// Kind is non-nil.
+type Message struct {
+	Kind         MsgKind
+	Gossip       *Gossip
+	ManifestReq  *ManifestRequest
+	ManifestResp *ManifestResponse
+	Replicate    *Replicate
+}
+
+// AppendMessage encodes a message onto dst and returns the extended
+// buffer.
+func AppendMessage(dst []byte, m *Message) []byte {
+	e := ctrlEncoder{buf: append(dst, ctrlMagic...)}
+	e.buf = append(e.buf, byte(m.Kind))
+	switch m.Kind {
+	case MsgGossip:
+		e.str(m.Gossip.From)
+		e.members(m.Gossip.Members)
+	case MsgManifestRequest:
+		e.str(m.ManifestReq.Joiner)
+		e.members(m.ManifestReq.Members)
+		e.uvarint(uint64(len(m.ManifestReq.Routers)))
+		for _, rt := range m.ManifestReq.Routers {
+			e.str(rt)
+		}
+	case MsgManifestResponse:
+		e.str(m.ManifestResp.From)
+		e.uvarint(uint64(len(m.ManifestResp.Entries)))
+		for _, en := range m.ManifestResp.Entries {
+			e.str(en.Router)
+			e.uvarint(uint64(len(en.Keys)))
+			for _, k := range en.Keys {
+				e.str(k)
+			}
+		}
+	case MsgReplicate:
+		e.str(m.Replicate.Owner)
+		e.uvarint(uint64(len(m.Replicate.Successors)))
+		for _, s := range m.Replicate.Successors {
+			e.str(s)
+		}
+		e.uvarint(uint64(len(m.Replicate.Batch)))
+		e.buf = append(e.buf, m.Replicate.Batch...)
+	}
+	return e.buf
+}
+
+type ctrlEncoder struct{ buf []byte }
+
+func (e *ctrlEncoder) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+func (e *ctrlEncoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *ctrlEncoder) members(ms []Member) {
+	e.uvarint(uint64(len(ms)))
+	for _, m := range ms {
+		e.str(m.ID)
+		e.buf = append(e.buf, byte(m.Role))
+		e.str(m.CtrlAddr)
+		e.str(m.DataAddr)
+		e.uvarint(m.Incarnation)
+		e.uvarint(m.Beat)
+	}
+}
+
+// DecodeMessage decodes one NPC1 message. The whole buffer must be
+// exactly one message: trailing bytes are an error.
+func DecodeMessage(buf []byte) (*Message, error) {
+	d := ctrlDecoder{buf: buf}
+	if len(buf) < len(ctrlMagic)+1 || string(buf[:len(ctrlMagic)]) != ctrlMagic {
+		return nil, fmt.Errorf("cluster: control message lacks NPC1 magic")
+	}
+	d.pos = len(ctrlMagic)
+	m := &Message{Kind: MsgKind(buf[d.pos])}
+	d.pos++
+	var err error
+	switch m.Kind {
+	case MsgGossip:
+		g := &Gossip{}
+		if g.From, err = d.str(); err == nil {
+			g.Members, err = d.members()
+		}
+		m.Gossip = g
+	case MsgManifestRequest:
+		r := &ManifestRequest{}
+		if r.Joiner, err = d.str(); err != nil {
+			break
+		}
+		if r.Members, err = d.members(); err != nil {
+			break
+		}
+		var n int
+		if n, err = d.count(); err != nil {
+			break
+		}
+		for i := 0; i < n; i++ {
+			var rt string
+			if rt, err = d.str(); err != nil {
+				break
+			}
+			r.Routers = append(r.Routers, rt)
+		}
+		m.ManifestReq = r
+	case MsgManifestResponse:
+		r := &ManifestResponse{}
+		if r.From, err = d.str(); err != nil {
+			break
+		}
+		var n int
+		if n, err = d.count(); err != nil {
+			break
+		}
+		for i := 0; i < n && err == nil; i++ {
+			var en ManifestEntry
+			if en.Router, err = d.str(); err != nil {
+				break
+			}
+			var nk int
+			if nk, err = d.count(); err != nil {
+				break
+			}
+			for j := 0; j < nk; j++ {
+				var k string
+				if k, err = d.str(); err != nil {
+					break
+				}
+				en.Keys = append(en.Keys, k)
+			}
+			r.Entries = append(r.Entries, en)
+		}
+		m.ManifestResp = r
+	case MsgReplicate:
+		r := &Replicate{}
+		if r.Owner, err = d.str(); err != nil {
+			break
+		}
+		var n int
+		if n, err = d.count(); err != nil {
+			break
+		}
+		for i := 0; i < n; i++ {
+			var s string
+			if s, err = d.str(); err != nil {
+				break
+			}
+			r.Successors = append(r.Successors, s)
+		}
+		if err == nil {
+			var b []byte
+			if b, err = d.strBytes(); err == nil {
+				// Copy out (callers journal batches past the request
+				// buffer's lifetime); always non-nil so an empty batch
+				// re-encodes identically.
+				r.Batch = append([]byte{}, b...)
+			}
+		}
+		m.Replicate = r
+	default:
+		return nil, fmt.Errorf("cluster: unknown control message kind %d", m.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if d.pos != len(d.buf) {
+		return nil, fmt.Errorf("cluster: %d trailing bytes after control message", len(d.buf)-d.pos)
+	}
+	return m, nil
+}
+
+type ctrlDecoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *ctrlDecoder) corrupt(what string) error {
+	return fmt.Errorf("cluster: corrupt control message: %s at offset %d", what, d.pos)
+}
+
+func (d *ctrlDecoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, d.corrupt("uvarint")
+	}
+	d.pos += n
+	return v, nil
+}
+
+// count reads a list length and bounds it by the remaining input —
+// every element costs at least one encoded byte, so a count exceeding
+// the bytes left is forged and rejected before any allocation sized
+// from it.
+func (d *ctrlDecoder) count() (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(d.buf)-d.pos) {
+		return 0, d.corrupt("count exceeds input")
+	}
+	return int(v), nil
+}
+
+func (d *ctrlDecoder) strBytes() ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		return nil, d.corrupt("length exceeds input")
+	}
+	b := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return b, nil
+}
+
+func (d *ctrlDecoder) str() (string, error) {
+	b, err := d.strBytes()
+	return string(b), err
+}
+
+func (d *ctrlDecoder) byte() (byte, error) {
+	if d.pos >= len(d.buf) {
+		return 0, d.corrupt("truncated")
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *ctrlDecoder) members() ([]Member, error) {
+	n, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	var out []Member
+	for i := 0; i < n; i++ {
+		var m Member
+		if m.ID, err = d.str(); err != nil {
+			return nil, err
+		}
+		role, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		if role > byte(RoleFront) {
+			return nil, d.corrupt("unknown role")
+		}
+		m.Role = Role(role)
+		if m.CtrlAddr, err = d.str(); err != nil {
+			return nil, err
+		}
+		if m.DataAddr, err = d.str(); err != nil {
+			return nil, err
+		}
+		if m.Incarnation, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		if m.Beat, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

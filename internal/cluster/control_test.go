@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func sampleMessages() map[string]*Message {
+	members := []Member{
+		{ID: "node-a", Role: RoleNode, CtrlAddr: "127.0.0.1:7101", DataAddr: "127.0.0.1:7001",
+			Incarnation: 17, Beat: 42},
+		{ID: "front-1", Role: RoleFront, CtrlAddr: "127.0.0.1:7102", DataAddr: "127.0.0.1:7002",
+			Incarnation: 3, Beat: 9000},
+		{}, // zero member survives the trip too
+	}
+	return map[string]*Message{
+		"gossip":       {Kind: MsgGossip, Gossip: &Gossip{From: "node-a", Members: members}},
+		"gossip-empty": {Kind: MsgGossip, Gossip: &Gossip{From: "joiner"}},
+		"manifest-request": {Kind: MsgManifestRequest,
+			ManifestReq: &ManifestRequest{Joiner: "node-b", Members: members[:2]}},
+		"manifest-request-targeted": {Kind: MsgManifestRequest,
+			ManifestReq: &ManifestRequest{Joiner: "node-b", Routers: []string{"rt-0001", "rt-0002"}}},
+		"manifest-response": {Kind: MsgManifestResponse,
+			ManifestResp: &ManifestResponse{From: "node-a", Entries: []ManifestEntry{
+				{Router: "rt-0001", Keys: []string{"rt-0001:n:1", "rt-0001:n:2"}},
+				{Router: "rt-0002"},
+			}}},
+		"replicate": {Kind: MsgReplicate, Replicate: &Replicate{
+			Owner: "node-a", Successors: []string{"node-b", "node-c"},
+			Batch: []byte("NPB1\x00")}},
+		"replicate-empty-batch": {Kind: MsgReplicate, Replicate: &Replicate{
+			Owner: "node-a", Successors: []string{"node-b"}, Batch: []byte{}}},
+	}
+}
+
+func TestControlRoundTrip(t *testing.T) {
+	for name, m := range sampleMessages() {
+		buf := AppendMessage(nil, m)
+		got, err := DecodeMessage(buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%s: round trip mismatch:\nwant %+v\ngot  %+v", name, m, got)
+		}
+		if again := AppendMessage(nil, got); !bytes.Equal(buf, again) {
+			t.Errorf("%s: re-encode is not byte-stable", name)
+		}
+	}
+}
+
+func TestControlDecodeRejects(t *testing.T) {
+	good := AppendMessage(nil, sampleMessages()["gossip"])
+	cases := map[string][]byte{
+		"empty":            nil,
+		"bad-magic":        []byte("JSON{}"),
+		"magic-only":       []byte(ctrlMagic),
+		"unknown-kind":     append([]byte(ctrlMagic), 0x7f),
+		"truncated":        good[:len(good)-3],
+		"trailing-garbage": append(append([]byte(nil), good...), 0xde, 0xad),
+		// A count claiming more members than there are bytes left must
+		// be refused before any allocation sized from it.
+		"forged-count": append([]byte(ctrlMagic+string(rune(MsgGossip))), 0x00, 0xff, 0xff, 0xff, 0x7f),
+	}
+	for name, buf := range cases {
+		if _, err := DecodeMessage(buf); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+}
+
+// TestReplicateBatchCopied pins that a decoded Replicate does not alias
+// the request buffer: the journal retains batches long after the HTTP
+// body's backing array is reused.
+func TestReplicateBatchCopied(t *testing.T) {
+	buf := AppendMessage(nil, sampleMessages()["replicate"])
+	m, err := DecodeMessage(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), m.Replicate.Batch...)
+	for i := range buf {
+		buf[i] = 0xaa
+	}
+	if !bytes.Equal(m.Replicate.Batch, want) {
+		t.Fatal("Replicate.Batch aliases the decode input")
+	}
+}

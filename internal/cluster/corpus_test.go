@@ -1,0 +1,39 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestWriteSeedCorpus regenerates the checked-in fuzz seed corpus from
+// the canonical encoder, so the seeds track format changes instead of
+// rotting. Run with CLUSTER_WRITE_CORPUS=1 after changing the encoding.
+func TestWriteSeedCorpus(t *testing.T) {
+	if os.Getenv("CLUSTER_WRITE_CORPUS") == "" {
+		t.Skip("set CLUSTER_WRITE_CORPUS=1 to regenerate testdata/fuzz seeds")
+	}
+	seeds := map[string][]byte{
+		"bad-magic":  []byte("JSON{}"),
+		"magic-only": []byte(ctrlMagic),
+	}
+	for name, m := range sampleMessages() {
+		b := AppendMessage(nil, m)
+		seeds[name] = b
+		seeds[name+"-truncated"] = b[:len(b)*2/3]
+	}
+	good := AppendMessage(nil, sampleMessages()["gossip"])
+	seeds["trailing-garbage"] = append(append([]byte(nil), good...), 0xde, 0xad)
+
+	dir := filepath.Join("testdata", "fuzz", "FuzzControlDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, b := range seeds {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(b)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

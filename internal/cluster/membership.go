@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// GossipConfig tunes the anti-entropy exchange and the local failure
+// detector. Tests use millisecond values; production defaults are
+// conservative enough that a GC pause never declares anyone dead.
+type GossipConfig struct {
+	// Interval between gossip rounds (and beat bumps). Default 1s.
+	Interval time.Duration
+	// SuspectAfter is how long a member's beat may stall before it is
+	// locally suspect (still on the ring, flagged in views). Default 3s.
+	SuspectAfter time.Duration
+	// DeadAfter is how long before a stalled member is locally dead:
+	// off the ring, journals replayed. Default 10s.
+	DeadAfter time.Duration
+}
+
+func (c GossipConfig) withDefaults() GossipConfig {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3 * time.Second
+	}
+	if c.DeadAfter <= c.SuspectAfter {
+		c.DeadAfter = c.SuspectAfter * 3
+	}
+	return c
+}
+
+// State is a member's locally judged liveness. It is derived, never
+// gossiped: each process times members' beat advancement on its own
+// clock (see Member).
+type State uint8
+
+// Liveness states.
+const (
+	StateAlive State = iota
+	StateSuspect
+	StateDead
+)
+
+func (s State) String() string {
+	switch s {
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	}
+	return "alive"
+}
+
+// MemberView is a membership snapshot entry: the gossiped identity plus
+// this process's liveness judgement.
+type MemberView struct {
+	Member
+	State State
+	// LastAdvance is when this process last saw the member's beat move.
+	LastAdvance time.Time
+}
+
+// membership is the gossiped member table plus the local failure
+// detector. Shared by nodes and fronts.
+type membership struct {
+	cfg GossipConfig
+	now func() time.Time
+
+	mu    sync.Mutex
+	self  Member
+	peers map[string]*peerEntry
+}
+
+type peerEntry struct {
+	m           Member
+	lastAdvance time.Time
+}
+
+func newMembership(self Member, cfg GossipConfig) *membership {
+	return &membership{
+		cfg:   cfg.withDefaults(),
+		now:   time.Now,
+		self:  self,
+		peers: make(map[string]*peerEntry),
+	}
+}
+
+// bump advances the local beat and returns the updated self entry.
+func (ms *membership) bump() Member {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.self.Beat++
+	return ms.self
+}
+
+// merge folds remote knowledge in. A higher incarnation replaces a
+// member wholesale (rejoin with fresh addresses); within an
+// incarnation only a strictly newer beat counts as advancement.
+func (ms *membership) merge(members []Member) {
+	now := ms.now()
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	for _, m := range members {
+		if m.ID == "" || m.ID == ms.self.ID {
+			continue
+		}
+		pe, ok := ms.peers[m.ID]
+		switch {
+		case !ok:
+			ms.peers[m.ID] = &peerEntry{m: m, lastAdvance: now}
+		case m.Incarnation > pe.m.Incarnation,
+			m.Incarnation == pe.m.Incarnation && m.Beat > pe.m.Beat:
+			pe.m = m
+			pe.lastAdvance = now
+		}
+	}
+}
+
+// snapshot is the full member table for a gossip exchange: self first,
+// then every peer (including locally-dead ones — their stalled beats
+// carry the verdict to anyone who hasn't noticed yet).
+func (ms *membership) snapshot() []Member {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	out := make([]Member, 0, 1+len(ms.peers))
+	out = append(out, ms.self)
+	for _, pe := range ms.peers {
+		out = append(out, pe.m)
+	}
+	return out
+}
+
+// view is the judged membership, sorted by ID, self included.
+func (ms *membership) view() []MemberView {
+	now := ms.now()
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	out := make([]MemberView, 0, 1+len(ms.peers))
+	out = append(out, MemberView{Member: ms.self, State: StateAlive, LastAdvance: now})
+	for _, pe := range ms.peers {
+		mv := MemberView{Member: pe.m, State: StateAlive, LastAdvance: pe.lastAdvance}
+		switch age := now.Sub(pe.lastAdvance); {
+		case age > ms.cfg.DeadAfter:
+			mv.State = StateDead
+		case age > ms.cfg.SuspectAfter:
+			mv.State = StateSuspect
+		}
+		out = append(out, mv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ring builds the hash ring over ring-eligible members: RoleNode and
+// not locally dead. Suspects stay on the ring — pulling them on the
+// first stalled beat would flap ownership under load spikes; only a
+// dead verdict moves shards.
+func (ms *membership) ring() *Ring {
+	var ids []string
+	for _, mv := range ms.view() {
+		if mv.Role == RoleNode && mv.State != StateDead {
+			ids = append(ids, mv.ID)
+		}
+	}
+	return NewRing(ids, DefaultVnodes)
+}
+
+// lookup returns a member's current identity.
+func (ms *membership) lookup(id string) (Member, bool) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if id == ms.self.ID {
+		return ms.self, true
+	}
+	pe, ok := ms.peers[id]
+	if !ok {
+		return Member{}, false
+	}
+	return pe.m, true
+}

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing([]string{"node-a", "node-b", "node-c"}, DefaultVnodes)
+	counts := map[string]int{}
+	const routers = 9000
+	for i := 0; i < routers; i++ {
+		counts[r.Owner(fmt.Sprintf("rt-%05d", i))]++
+	}
+	for _, id := range r.Nodes() {
+		share := float64(counts[id]) / routers
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("node %s owns %.1f%% of routers, want a roughly even split", id, 100*share)
+		}
+	}
+}
+
+func TestRingLookupDistinctReplicas(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c", "d"}, 16)
+	for i := 0; i < 500; i++ {
+		router := fmt.Sprintf("rt-%d", i)
+		set := r.Lookup(router, 3)
+		if len(set) != 3 {
+			t.Fatalf("Lookup(%q, 3) = %v, want 3 distinct nodes", router, set)
+		}
+		seen := map[string]bool{}
+		for _, id := range set {
+			if seen[id] {
+				t.Fatalf("Lookup(%q, 3) repeats node %s: %v", router, id, set)
+			}
+			seen[id] = true
+		}
+		if set[0] != r.Owner(router) {
+			t.Fatalf("Lookup(%q)[0] = %s, Owner = %s", router, set[0], r.Owner(router))
+		}
+	}
+}
+
+func TestRingLookupClamps(t *testing.T) {
+	r := NewRing([]string{"a", "b"}, 8)
+	if got := r.Lookup("rt-1", 5); len(got) != 2 {
+		t.Fatalf("Lookup with n beyond ring size = %v, want both nodes", got)
+	}
+	empty := NewRing(nil, 8)
+	if got := empty.Lookup("rt-1", 2); got != nil {
+		t.Fatalf("Lookup on empty ring = %v, want nil", got)
+	}
+	if empty.Owner("rt-1") != "" {
+		t.Fatal("Owner on empty ring should be empty")
+	}
+}
+
+// TestRingStabilityOnNodeLoss is the consistent-hashing contract the
+// failover design rests on: removing one node must not move routers
+// between the surviving nodes — only the dead node's routers reassign.
+func TestRingStabilityOnNodeLoss(t *testing.T) {
+	full := NewRing([]string{"a", "b", "c"}, DefaultVnodes)
+	less := NewRing([]string{"a", "c"}, DefaultVnodes)
+	moved := 0
+	for i := 0; i < 3000; i++ {
+		router := fmt.Sprintf("rt-%d", i)
+		before := full.Owner(router)
+		after := less.Owner(router)
+		if before != "b" && before != after {
+			t.Fatalf("router %q moved %s -> %s though neither died", router, before, after)
+		}
+		if before == "b" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("expected node b to have owned some routers")
+	}
+}
+
+func TestRingDeterministicAcrossInputOrder(t *testing.T) {
+	r1 := NewRing([]string{"a", "b", "c"}, 32)
+	r2 := NewRing([]string{"c", "a", "b", "a"}, 32)
+	for i := 0; i < 200; i++ {
+		router := fmt.Sprintf("rt-%d", i)
+		if r1.Owner(router) != r2.Owner(router) {
+			t.Fatalf("owner of %q differs across construction order", router)
+		}
+	}
+}

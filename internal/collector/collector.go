@@ -33,6 +33,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -117,6 +118,13 @@ type Server struct {
 	// discover NPB1 support (default on; bismark-server -no-binary).
 	advertiseBinary atomic.Bool
 
+	// ingestObs, when set, sees every keyed ingest decision; see
+	// SetIngestObserver.
+	ingestObs atomic.Pointer[func(endpoint, key, router string, applied bool)]
+	// ingestGate, when set, runs before every keyed apply; see
+	// SetIngestGate.
+	ingestGate atomic.Pointer[func(router string)]
+
 	closeOnce sync.Once
 	closeErr  error
 	closed    chan struct{}
@@ -194,6 +202,19 @@ func NewServer(udpAddr, httpAddr string, store *dataset.Sharded) (*Server, error
 	go s.http.Serve(ln)
 	s.log.Debug("listening", "udp", s.UDPAddr(), "http", s.HTTPAddr())
 	return s, nil
+}
+
+// Endpoints returns every logical upload endpoint the server serves
+// ("/v1/register", "/v1/uptime", ...), sorted. The cluster front tier
+// proxies exactly this set.
+func Endpoints() []string {
+	m := newAppliers()
+	out := make([]string, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // newAppliers builds the decode table for every logical upload
@@ -492,11 +513,47 @@ func (s *Server) faultSpan(traceID, mode string, start time.Time) {
 // payload was applied (false means a deduplicated replay). Uploads for
 // different routers take different shard locks and proceed in parallel.
 func (s *Server) ingest(endpoint, key, router string, apply func(*dataset.Store)) bool {
-	if !s.store.Apply(router, key, apply) {
-		s.mDedupe.With(endpoint).Inc()
-		return false
+	if key != "" {
+		if gate := s.ingestGate.Load(); gate != nil {
+			(*gate)(router)
+		}
 	}
-	return true
+	applied := s.store.Apply(router, key, apply)
+	if !applied {
+		s.mDedupe.With(endpoint).Inc()
+	}
+	if obs := s.ingestObs.Load(); obs != nil {
+		(*obs)(endpoint, key, router, applied)
+	}
+	return applied
+}
+
+// SetIngestObserver registers fn to be called synchronously after every
+// ingest decision (applied or deduplicated). Cluster nodes use it to
+// maintain the per-router applied-key index that key manifests are
+// served from; nil unregisters. The callback runs on the request path —
+// it must be cheap and must not call back into the server.
+func (s *Server) SetIngestObserver(fn func(endpoint, key, router string, applied bool)) {
+	if fn == nil {
+		s.ingestObs.Store(nil)
+		return
+	}
+	s.ingestObs.Store(&fn)
+}
+
+// SetIngestGate registers fn to be called synchronously before every
+// keyed apply, with the originating router ID. Cluster nodes use it to
+// finish seeding a router's dedupe index before its first write lands
+// (closing the window where a write applied elsewhere during an
+// ownership change could re-apply here); nil unregisters. The callback
+// runs on the request path and may block that request, but must not
+// call back into the server.
+func (s *Server) SetIngestGate(fn func(router string)) {
+	if fn == nil {
+		s.ingestGate.Store(nil)
+		return
+	}
+	s.ingestGate.Store(&fn)
 }
 
 // jsonEndpoint serves one logical endpoint directly. Requests may carry
@@ -661,10 +718,25 @@ func addApply(t *trace.Trace, start time.Time, status, reason string) {
 // immediately, while in-flight uploads get closeTimeout to finish
 // decoding before their connections are force-closed. Close is
 // idempotent; the TCP listener is closed exactly once (by Shutdown).
-func (s *Server) Close() error {
+func (s *Server) Close() error { return s.shutdown(true) }
+
+// Abort force-closes the server without the graceful drain window:
+// listeners and every in-flight connection drop immediately, exactly
+// like a crashed process as seen from the network. The cluster chaos
+// harness kills nodes with it; production shutdown wants Close.
+func (s *Server) Abort() error { return s.shutdown(false) }
+
+func (s *Server) shutdown(graceful bool) error {
 	s.closeOnce.Do(func() {
 		close(s.closed)
 		err := s.hbRx.Close()
+		if !graceful {
+			if cerr := s.http.Close(); err == nil {
+				err = cerr
+			}
+			s.closeErr = err
+			return
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), closeTimeout)
 		defer cancel()
 		if serr := s.http.Shutdown(ctx); serr != nil {

@@ -1,0 +1,154 @@
+package verify
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"natpeek/internal/cluster"
+	"natpeek/internal/collector"
+	"natpeek/internal/dataset"
+	"natpeek/internal/gateway"
+	"natpeek/internal/spool"
+	"natpeek/internal/world"
+)
+
+// RunCluster executes the same golden deployment as Run, but through a
+// multi-node collector cluster: every client points at a front-tier
+// router that consistent-hashes uploads across n collector nodes, and
+// the ingested store is the merge of every node's shard plus the
+// front's heartbeat log. The equivalence test asserts the resulting
+// snapshot is byte-identical to the single-node golden — sharding,
+// routing, and replication must be invisible in the data.
+func RunCluster(cfg Config, n int) (*Result, error) {
+	if n <= 0 {
+		n = 3
+	}
+	w := world.Build(worldConfig(cfg))
+
+	// Snappy gossip so membership converges well before traffic starts;
+	// the run itself is failure-free, so detector timing does not shape
+	// the data.
+	gossip := cluster.GossipConfig{
+		Interval:     25 * time.Millisecond,
+		SuspectAfter: 250 * time.Millisecond,
+		DeadAfter:    time.Second,
+	}
+	var nodes []*cluster.Node
+	var peers []string
+	defer func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		nd, err := cluster.NewNode(cluster.NodeConfig{
+			ID:      fmt.Sprintf("verify-node-%d", i),
+			UDPAddr: "127.0.0.1:0", HTTPAddr: "127.0.0.1:0", CtrlAddr: "127.0.0.1:0",
+			Peers: append([]string(nil), peers...), Gossip: gossip,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("verify: cluster node %d: %w", i, err)
+		}
+		nodes = append(nodes, nd)
+		peers = append(peers, nd.CtrlAddr())
+	}
+	front, err := cluster.NewFront(cluster.FrontConfig{
+		ID:      "verify-front",
+		UDPAddr: "127.0.0.1:0", HTTPAddr: "127.0.0.1:0", CtrlAddr: "127.0.0.1:0",
+		Peers: peers, Gossip: gossip,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("verify: cluster front: %w", err)
+	}
+	defer front.Close()
+	if err := waitAlive(front, n, 10*time.Second); err != nil {
+		return nil, err
+	}
+
+	scanner := newPrivacyScanner(w)
+	wireMode := collector.WireAuto
+	if cfg.ForceJSON {
+		wireMode = collector.WireJSON
+	}
+	err = w.RunWith(func(h *world.Home) (gateway.Sink, func() error, error) {
+		cli, err := collector.NewClient(h.Profile.ID, w.Store.RouterCountry[h.Profile.ID],
+			front.UDPAddr(), front.HTTPAddr(),
+			collector.WithTransport(scanner),
+			collector.WithWireFormat(wireMode),
+			collector.WithSpool(spool.Config{Capacity: 1 << 17, MaxBatch: 256}))
+		if err != nil {
+			return nil, nil, err
+		}
+		sink := &clientSink{Client: cli, hb: front.Heartbeats()}
+		closeFn := func() error {
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			ferr := cli.Flush(ctx)
+			depth := cli.SpoolDepth()
+			uerr := cli.Err()
+			cerr := cli.Close()
+			if ferr != nil {
+				return fmt.Errorf("flush: %w", ferr)
+			}
+			if depth != 0 {
+				return fmt.Errorf("%d uploads still spooled after flush", depth)
+			}
+			if uerr != nil {
+				return fmt.Errorf("upload error: %w", uerr)
+			}
+			return cerr
+		}
+		return sink, closeFn, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := mergeClusterStores(front, nodes)
+	return &Result{Cfg: cfg, World: w, Ingested: merged, PrivacyViolations: scanner.take()}, nil
+}
+
+// waitAlive blocks until the front judges exactly n collector nodes
+// alive.
+func waitAlive(front *cluster.Front, n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		alive := 0
+		for _, mv := range front.View() {
+			if mv.Role == cluster.RoleNode && mv.State == cluster.StateAlive {
+				alive++
+			}
+		}
+		if alive == n {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("verify: cluster membership did not converge to %d nodes", n)
+}
+
+// mergeClusterStores builds the cluster-wide store image: measurement
+// rows concatenated across every node's shard (snapshot digests sort
+// rows, so concatenation order cannot show through), router countries
+// unioned, and the heartbeat log taken from the front, where cluster
+// heartbeats terminate.
+func mergeClusterStores(front *cluster.Front, nodes []*cluster.Node) *dataset.Store {
+	merged := &dataset.Store{
+		Heartbeats:    front.Heartbeats(),
+		RouterCountry: make(map[string]string),
+	}
+	for _, nd := range nodes {
+		st := nd.Store()
+		merged.Uptime = append(merged.Uptime, st.Uptime...)
+		merged.Capacity = append(merged.Capacity, st.Capacity...)
+		merged.Counts = append(merged.Counts, st.Counts...)
+		merged.Sightings = append(merged.Sightings, st.Sightings...)
+		merged.WiFi = append(merged.WiFi, st.WiFi...)
+		merged.Flows = append(merged.Flows, st.Flows...)
+		merged.Throughput = append(merged.Throughput, st.Throughput...)
+		for id, cc := range st.RouterCountry {
+			merged.RouterCountry[id] = cc
+		}
+	}
+	return merged
+}

@@ -1,0 +1,60 @@
+package verify
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestClusterGoldenEquivalence is the cluster's data-plane contract:
+// the same seeded deployment driven through a 3-node cluster front —
+// rows sharded across nodes by consistent hash, writes replicated,
+// heartbeats terminating at the front — must produce a snapshot
+// byte-identical to the single-node golden. Routing and replication
+// are transport, not data.
+func TestClusterGoldenEquivalence(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden", "run-seed1.json"))
+	if err != nil {
+		t.Fatalf("no golden snapshot (generate with TestGoldenRun -update): %v", err)
+	}
+	r, err := RunCluster(Config{Seed: 1}, 3)
+	if err != nil {
+		t.Fatalf("verify.RunCluster: %v", err)
+	}
+	if len(r.PrivacyViolations) > 0 {
+		t.Errorf("privacy violations through the cluster path: %v", r.PrivacyViolations)
+	}
+	if fails := CheckAll(r, nil); len(fails) > 0 {
+		for _, f := range fails {
+			t.Errorf("invariant %s", f)
+		}
+	}
+	got := BuildSnapshot(r).Encode()
+	if !bytes.Equal(got, want) {
+		t.Errorf("cluster-merged snapshot differs from single-node golden:\n%s",
+			snapshotDiff(want, got))
+	}
+}
+
+// TestClusterGoldenEquivalenceJSON re-runs the cluster equivalence with
+// clients forced onto the legacy JSON batch encoding, covering the
+// front's JSON decode + regroup + NPB1 re-encode path end to end.
+func TestClusterGoldenEquivalenceJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-deployment rerun; covered by the binary-wire variant in short mode")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden", "run-seed1.json"))
+	if err != nil {
+		t.Fatalf("no golden snapshot (generate with TestGoldenRun -update): %v", err)
+	}
+	r, err := RunCluster(Config{Seed: 1, ForceJSON: true}, 3)
+	if err != nil {
+		t.Fatalf("verify.RunCluster(json): %v", err)
+	}
+	got := BuildSnapshot(r).Encode()
+	if !bytes.Equal(got, want) {
+		t.Errorf("cluster JSON-wire snapshot differs from single-node golden:\n%s",
+			snapshotDiff(want, got))
+	}
+}
