@@ -1,10 +1,11 @@
 # Tier-1 verification plus the race/bench targets the telemetry PR added.
 #
-#   make check         # vet + build + tests with -race + verify + load + cluster gates
+#   make check         # vet + build + tests with -race + verify + load + cluster + segment gates
 #   make check-verify  # golden runs, conservation invariants, parser fuzzing
 #   make check-load    # sharded-store stress + admission + loadgen soaks, -race
 #   make check-cluster # multi-node routing/replication/failover + chaos soak, -race
-#   make bench         # regression benchmark suite -> BENCH_8.json
+#   make check-segment # segment engine: crash windows, fuzz seeds, goldens, -race
+#   make bench         # regression benchmark suite -> BENCH_9.json
 #   make bench-paper   # full reproduction driver (tables/figures + ablations)
 
 GO ?= go
@@ -16,9 +17,9 @@ FUZZTIME ?= 10s
 BENCHTIME ?= 300ms
 
 .PHONY: check vet build test race bench bench-paper bench-telemetry \
-	check-reliability check-verify check-load check-cluster fuzz-seeds
+	check-reliability check-verify check-load check-cluster check-segment fuzz-seeds
 
-check: vet build race check-verify check-load check-cluster
+check: vet build race check-verify check-load check-cluster check-segment
 
 vet:
 	$(GO) vet ./...
@@ -33,17 +34,19 @@ race:
 	$(GO) test -race ./...
 
 # The scale-regression suite. Fixed -benchtime keeps runs comparable;
-# bench-report turns the text output into BENCH_8.json (per-benchmark
-# metrics plus the derived ratios — read them with num_cpu in mind: the
-# JSON carries explanatory notes whenever the runner's CPU count shapes
-# a ratio, e.g. the sharded-append speedup only materialises on
-# multi-core hosts). BenchmarkIngestBatchTraced rides the same regex and
-# tracks the tracing on/off delta on the ingest hot path (budget: <5%
-# median overhead); BenchmarkIngestBatchWire compares the NPB1 binary
-# batch encoding against JSON (targets: >= 5x rows/s/core, >= 10x fewer
-# allocs/batch); the cluster trio prices the front tier — routing +
-# replication overhead per batch (cluster_front_route_overhead_r{1,2})
-# and failover handoff throughput (cluster_handoff_rows_per_sec).
+# bench-report turns the text output into BENCH_9.json (per-benchmark
+# metrics plus the derived ratios — single-core caveat notes are now
+# attached automatically to every parallelism-derived metric whenever
+# num_cpu=1, so the JSON is self-describing on any runner).
+# BenchmarkIngestBatchTraced rides the same regex and tracks the tracing
+# on/off delta on the ingest hot path (budget: <5% median overhead);
+# BenchmarkIngestBatchWire compares the NPB1 binary batch encoding
+# against JSON (targets: >= 5x rows/s/core, >= 10x fewer allocs/batch);
+# the cluster trio prices the front tier; the segment/figures quartet
+# prices the storage engine — flush throughput
+# (segment_flush_rows_per_sec), segment-scan vs in-memory analysis
+# (segment_scan_overhead), and the incremental dashboard refresh vs full
+# recomputation (incremental_figure_speedup).
 bench:
 	{ \
 	  $(GO) test -run='^$$' -bench='BenchmarkStoreAppend|BenchmarkDedupeMark|BenchmarkStoreSave|BenchmarkShardedMerge' \
@@ -53,8 +56,12 @@ bench:
 	  $(GO) test -run='^$$' -bench='BenchmarkWorldRunHome' -benchtime=$(BENCHTIME) -benchmem ./internal/world/ && \
 	  $(GO) test -run='^$$' -bench='BenchmarkLoadgenEndToEnd' -benchtime=$(BENCHTIME) -benchmem ./internal/loadgen/ && \
 	  $(GO) test -run='^$$' -bench='BenchmarkRingLookup|BenchmarkFrontRouteBatch|BenchmarkHandoffReplay' \
-	    -benchtime=$(BENCHTIME) -benchmem ./internal/cluster/ ; \
-	} | $(GO) run ./cmd/bench-report -pr 8 -out BENCH_8.json
+	    -benchtime=$(BENCHTIME) -benchmem ./internal/cluster/ && \
+	  $(GO) test -run='^$$' -bench='BenchmarkSegmentFlush|BenchmarkSegmentReopen' \
+	    -benchtime=$(BENCHTIME) -benchmem ./internal/segment/ && \
+	  $(GO) test -run='^$$' -bench='BenchmarkAnalysisScan|BenchmarkFigureRefresh' \
+	    -benchtime=$(BENCHTIME) -benchmem ./internal/figures/ ; \
+	} | $(GO) run ./cmd/bench-report -pr 9 -out BENCH_9.json
 
 # The full paper-reproduction driver (tables/figures + ablations).
 bench-paper:
@@ -94,6 +101,7 @@ check-verify: fuzz-seeds
 	$(GO) test -run='^$$' -fuzz='FuzzJournalReplay' -fuzztime=$(FUZZTIME) ./internal/spool/
 	$(GO) test -run='^$$' -fuzz='FuzzRequestDecode' -fuzztime=$(FUZZTIME) ./internal/collector/
 	$(GO) test -run='^$$' -fuzz='FuzzWireDecode' -fuzztime=$(FUZZTIME) ./internal/wire/
+	$(GO) test -run='^$$' -fuzz='FuzzSegmentDecode' -fuzztime=$(FUZZTIME) ./internal/segment/
 
 # The scale gate, under the race detector:
 #   1. sharded-store stress (32 shards, concurrent appliers + replays)
@@ -123,6 +131,25 @@ check-cluster:
 	$(GO) test -race ./internal/cluster/
 	$(GO) test -run='^$$' -fuzz='FuzzControlDecode' -fuzztime=$(FUZZTIME) ./internal/cluster/
 
+# The segment-storage gate, under the race detector:
+#   1. the segment engine suite — encode/decode round-trips, the
+#      merge-order substitution contract against the sharded store,
+#      dedupe handoff across the flush boundary, crash-window
+#      regressions (truncated tail, torn footer, kill between flush and
+#      handoff, tmp leftovers, compaction supersession healing);
+#   2. the incremental-analysis equivalence suite — partial folds,
+#      merges, and the live dashboard against the batch figures;
+#   3. the segment-backed verify goldens — the storage engine swapped in
+#      under the full deployment (single-node, JSON wire, 3-node
+#      cluster), snapshots byte-identical to the in-memory golden;
+#   4. a short fuzz shake-out of the NPS1 decoder on top of its
+#      checked-in seed corpus.
+check-segment:
+	$(GO) test -race ./internal/segment/
+	$(GO) test -race -run 'TestPartialEquivalence|TestDashboard' ./internal/figures/
+	$(GO) test -race -run 'Segment' ./internal/verify/
+	$(GO) test -run='^$$' -fuzz='FuzzSegmentDecode' -fuzztime=$(FUZZTIME) ./internal/segment/
+
 # Replay the checked-in fuzz corpora as plain unit tests (fast, -race).
 fuzz-seeds:
-	$(GO) test -race -run 'Fuzz' ./internal/dns/ ./internal/pcap/ ./internal/packet/ ./internal/spool/ ./internal/collector/ ./internal/wire/ ./internal/cluster/
+	$(GO) test -race -run 'Fuzz' ./internal/dns/ ./internal/pcap/ ./internal/packet/ ./internal/spool/ ./internal/collector/ ./internal/wire/ ./internal/cluster/ ./internal/segment/

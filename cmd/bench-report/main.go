@@ -18,6 +18,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -139,11 +140,22 @@ func main() {
 	fmt.Fprintf(os.Stderr, "bench-report: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
 }
 
-// derive computes the trajectory ratios. The headline one is the
-// sharded-store speedup over the single-lock seed store at 8 concurrent
-// writers — >= 2x on multi-core collectors; ~1x on a single-CPU runner,
-// where lock striping has no parallelism to harvest (check num_cpu
-// before reading it).
+// parallelismCaveats declares, per derived-metric prefix, why the
+// metric is meaningless (or misleading) on a single-CPU runner. Every
+// derived metric recorded through recordDerived with parallel=true must
+// have an entry here; the caveat notes are then generated automatically
+// for whichever of those metrics are present, instead of being
+// hand-written each PR.
+var parallelismCaveats = map[string]string{
+	"sharded_append_speedup_":       "lock striping has no parallelism to harvest on this runner; ~1x here is expected and >=2x holds on multi-core collectors",
+	"cluster_front_route_overhead_": "the front, all nodes, and the client share one CPU, so the ratio overstates the front hop — the cluster's whole point (N cores ingesting in parallel) cannot show here",
+	"segment_flush_rows_per_sec":    "the background flush goroutine competes with the writer for the single CPU, so flush throughput reads low relative to multi-core collectors",
+}
+
+// derive computes the trajectory ratios. Headline ones: the
+// sharded-store speedup over the single-lock seed store (PR 5), the
+// binary-wire ingest speedup (PR 7), cluster front-tier overhead
+// (PR 8), and the segment-store throughput/latency ratios (PR 9).
 func derive(rep *report) {
 	nsop := func(name string) float64 {
 		for _, b := range rep.Benchmarks {
@@ -161,11 +173,23 @@ func derive(rep *report) {
 		}
 		return 0
 	}
+
+	// recordDerived registers a ratio; parallel marks metrics whose value
+	// depends on having CPUs to run concurrently, which triggers the
+	// automatic single-core caveat below.
+	var parallelMetrics []string
+	recordDerived := func(name string, v float64, parallel bool) {
+		rep.Derived[name] = v
+		if parallel {
+			parallelMetrics = append(parallelMetrics, name)
+		}
+	}
+
 	for _, g := range []int{1, 8} {
 		single := nsop(fmt.Sprintf("BenchmarkStoreAppend/mode=single-lock/goroutines=%d", g))
 		sharded := nsop(fmt.Sprintf("BenchmarkStoreAppend/mode=sharded/goroutines=%d", g))
 		if single > 0 && sharded > 0 {
-			rep.Derived[fmt.Sprintf("sharded_append_speedup_%d_goroutines", g)] = single / sharded
+			recordDerived(fmt.Sprintf("sharded_append_speedup_%d_goroutines", g), single/sharded, g > 1)
 		}
 	}
 	// Binary wire format vs JSON on the same batch ingest workload.
@@ -173,12 +197,12 @@ func derive(rep *report) {
 	jsonNs := nsop("BenchmarkIngestBatchWire/format=json")
 	binNs := nsop("BenchmarkIngestBatchWire/format=binary")
 	if jsonNs > 0 && binNs > 0 {
-		rep.Derived["binary_ingest_speedup"] = jsonNs / binNs
+		recordDerived("binary_ingest_speedup", jsonNs/binNs, false)
 	}
 	jsonAllocs := metric("BenchmarkIngestBatchWire/format=json", "allocs/op")
 	binAllocs := metric("BenchmarkIngestBatchWire/format=binary", "allocs/op")
 	if jsonAllocs > 0 && binAllocs > 0 {
-		rep.Derived["binary_ingest_alloc_ratio"] = jsonAllocs / binAllocs
+		recordDerived("binary_ingest_alloc_ratio", jsonAllocs/binAllocs, false)
 	}
 	// Cluster front tier (PR 8): what the routing hop and write
 	// replication cost per batch relative to POSTing the same NPB1
@@ -187,24 +211,50 @@ func derive(rep *report) {
 	for _, r := range []int{1, 2} {
 		front := nsop(fmt.Sprintf("BenchmarkFrontRouteBatch/path=front-r%d", r))
 		if direct > 0 && front > 0 {
-			rep.Derived[fmt.Sprintf("cluster_front_route_overhead_r%d", r)] = front / direct
+			recordDerived(fmt.Sprintf("cluster_front_route_overhead_r%d", r), front/direct, true)
 		}
 	}
 	if rows := metric("BenchmarkHandoffReplay", "rows/s"); rows > 0 {
-		rep.Derived["cluster_handoff_rows_per_sec"] = rows
+		recordDerived("cluster_handoff_rows_per_sec", rows, false)
+	}
+	// Segment storage engine (PR 9): flush throughput, the cost of
+	// scanning sealed segments relative to an in-memory store, and what
+	// incremental partial-state folding saves over full recomputation
+	// when one new segment seals.
+	if rows := metric("BenchmarkSegmentFlush", "rows/s"); rows > 0 {
+		recordDerived("segment_flush_rows_per_sec", rows, true)
+	}
+	memScan := nsop("BenchmarkAnalysisScan/source=memory")
+	segScan := nsop("BenchmarkAnalysisScan/source=segments")
+	if memScan > 0 && segScan > 0 {
+		recordDerived("segment_scan_overhead", segScan/memScan, false)
+	}
+	fullFig := nsop("BenchmarkFigureRefresh/mode=full")
+	incFig := nsop("BenchmarkFigureRefresh/mode=incremental")
+	if fullFig > 0 && incFig > 0 {
+		recordDerived("incremental_figure_speedup", fullFig/incFig, false)
 	}
 
 	if rep.NumCPU == 1 {
-		if _, ok := rep.Derived["sharded_append_speedup_8_goroutines"]; ok {
-			rep.Notes = append(rep.Notes,
-				"num_cpu=1: sharded_append_speedup_* has no parallelism to harvest on this runner; ~1x here is expected and >=2x holds on multi-core collectors")
-		}
-		if _, ok := rep.Derived["cluster_front_route_overhead_r1"]; ok {
-			rep.Notes = append(rep.Notes,
-				"num_cpu=1: cluster_front_route_overhead_* overstates the front hop — the front, all nodes, and the client share one CPU, so the cluster's whole point (N cores ingesting in parallel) cannot show here")
+		// Single-core runner: attach the caveat to every
+		// parallelism-derived metric present, so a reader of the JSON
+		// alone cannot misread the numbers as a parallelism regression.
+		for _, name := range parallelMetrics {
+			why := ""
+			for prefix, w := range parallelismCaveats {
+				if strings.HasPrefix(name, prefix) {
+					why = w
+					break
+				}
+			}
+			if why == "" {
+				why = "this metric measures parallel speedup, which a single CPU cannot exhibit"
+			}
+			rep.Notes = append(rep.Notes, fmt.Sprintf("num_cpu=1: %s: %s", name, why))
 		}
 	} else if _, ok := rep.Derived["cluster_front_route_overhead_r1"]; ok {
 		rep.Notes = append(rep.Notes,
 			fmt.Sprintf("cluster_front_route_overhead_* measured with front + 3 nodes + client sharing %d CPUs; it prices the extra hop and replication, not cluster-wide ingest capacity (which scales with nodes x cores)", rep.NumCPU))
 	}
+	sort.Strings(rep.Notes)
 }

@@ -18,13 +18,23 @@ import (
 
 func main() {
 	data := flag.String("data", "data", "directory of CSV data sets")
+	segments := flag.String("segments", "", "analyze a columnar segment directory (bismark-server -segments) instead of CSV data sets")
 	only := flag.String("only", "", `regenerate a single exhibit, e.g. "Figure 19"`)
 	flag.Parse()
 
 	log := telemetry.SetupLogger("bismark-analyze")
 
-	study, err := natpeek.OpenStudy(*data)
-	if err != nil {
+	var (
+		study *natpeek.Study
+		err   error
+	)
+	if *segments != "" {
+		study, err = natpeek.OpenSegmentStudy(*segments)
+		if err != nil {
+			log.Error("open failed", "segments", *segments, "err", err)
+			os.Exit(1)
+		}
+	} else if study, err = natpeek.OpenStudy(*data); err != nil {
 		log.Error("open failed", "dir", *data, "err", err)
 		os.Exit(1)
 	}

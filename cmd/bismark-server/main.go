@@ -30,8 +30,21 @@ import (
 	"natpeek/internal/cluster"
 	"natpeek/internal/collector"
 	"natpeek/internal/dataset"
+	"natpeek/internal/figures"
+	"natpeek/internal/segment"
 	"natpeek/internal/telemetry"
 )
+
+// mountFigures attaches the incremental figures dashboard to the
+// collector's HTTP mux.
+func mountFigures(seg *segment.Store, srv *collector.Server) error {
+	d, err := figures.NewDashboard(seg, figures.DefaultWindows())
+	if err != nil {
+		return err
+	}
+	d.Register(srv.Mux())
+	return nil
+}
 
 func main() {
 	udp := flag.String("udp", "127.0.0.1:8077", "UDP address for heartbeats")
@@ -47,11 +60,25 @@ func main() {
 	nodeID := flag.String("node-id", "node-0", "cluster mode: this node's stable hash-ring identity")
 	ctrlAddr := flag.String("ctrl", "127.0.0.1:9090", "cluster mode: control-plane HTTP address (gossip, replicate, manifest)")
 	peers := flag.String("peers", "", "cluster mode: comma-separated control-plane addresses of existing members (empty for the first node)")
+	segDir := flag.String("segments", "", "durable columnar segment directory: rows spill from memory to immutable NPS1 segments as they arrive (crash-safe, exactly-once across restarts) and the HTTP listener gains a continuously-updating GET /figures dashboard")
+	segFlushAge := flag.Duration("segment-flush-age", time.Minute, "seal a non-empty memtable this long after its first row even below the row threshold, so quiet deployments still reach disk (0 disables)")
 	flag.Parse()
 
 	log := telemetry.SetupLogger("bismark-server")
 
-	store := dataset.NewSharded(0)
+	var store dataset.IngestStore = dataset.NewSharded(0)
+	var segStore *segment.Store
+	if *segDir != "" {
+		var err error
+		segStore, err = segment.Open(segment.Options{Dir: *segDir, FlushAge: *segFlushAge})
+		if err != nil {
+			log.Error("segment store open failed", "err", err)
+			os.Exit(1)
+		}
+		store = segStore
+		log.Info("segment storage enabled", "dir", *segDir,
+			"segments", len(segStore.Segments()))
+	}
 
 	if *clusterMode {
 		var seedPeers []string
@@ -70,6 +97,13 @@ func main() {
 			os.Exit(1)
 		}
 		node.Collector().SetTraceSampling(*traceSample, *traceSlow)
+		if segStore != nil {
+			if err := mountFigures(segStore, node.Collector()); err != nil {
+				log.Error("figures dashboard failed", "err", err)
+				os.Exit(1)
+			}
+			log.Info("figures dashboard", "url", "http://"+node.DataAddr()+"/figures")
+		}
 		log.Info("cluster node listening",
 			"node", *nodeID,
 			"heartbeats", "udp://"+node.UDPAddr(),
@@ -83,6 +117,11 @@ func main() {
 		log.Info("shutting down", "out", *out)
 		if err := node.Close(); err != nil {
 			log.Warn("close", "err", err)
+		}
+		if segStore != nil {
+			if err := segStore.Close(); err != nil {
+				log.Warn("segment store close", "err", err)
+			}
 		}
 		if err := store.Save(*out); err != nil {
 			log.Error("save failed", "err", err)
@@ -101,6 +140,13 @@ func main() {
 		log.Warn("fault injection enabled", "rate", *failRate, "seed", *failSeed)
 	}
 	srv.SetTraceSampling(*traceSample, *traceSlow)
+	if segStore != nil {
+		if err := mountFigures(segStore, srv); err != nil {
+			log.Error("figures dashboard failed", "err", err)
+			os.Exit(1)
+		}
+		log.Info("figures dashboard", "url", "http://"+srv.HTTPAddr()+"/figures")
+	}
 	if *noBinary {
 		srv.SetAdvertiseBinary(false)
 		log.Info("binary batch advertisement disabled")
@@ -123,8 +169,9 @@ func main() {
 		select {
 		case <-ticker.C:
 			beats := 0
-			for _, id := range store.Heartbeats.Routers() {
-				beats += store.Heartbeats.Count(id)
+			hb := store.HeartbeatLog()
+			for _, id := range hb.Routers() {
+				beats += hb.Count(id)
 			}
 			rc := store.RowCounts()
 			log.Info("collection progress",
@@ -136,6 +183,11 @@ func main() {
 			log.Info("shutting down", "out", *out)
 			if err := srv.Close(); err != nil {
 				log.Warn("close", "err", err)
+			}
+			if segStore != nil {
+				if err := segStore.Close(); err != nil {
+					log.Warn("segment store close", "err", err)
+				}
 			}
 			if err := store.Save(*out); err != nil {
 				log.Error("save failed", "err", err)

@@ -40,7 +40,7 @@ type NodeConfig struct {
 	// Gossip tunes the anti-entropy exchange and failure detector.
 	Gossip GossipConfig
 	// Store, when non-nil, is ingested into instead of a fresh one.
-	Store *dataset.Sharded
+	Store dataset.IngestStore
 	// MaxInflight caps concurrent data-plane uploads (collector
 	// SetMaxInflight semantics); 0 keeps the collector default.
 	MaxInflight int

@@ -89,13 +89,14 @@ func decodeApply[T any](router func(T) string, apply func(*dataset.Store, T)) ap
 // server's own mutex only guards the fault injector.
 type Server struct {
 	mu    sync.Mutex // guards faults only
-	store *dataset.Sharded
+	store dataset.IngestStore
 	admit atomic.Value // chan struct{}; see SetMaxInflight
 
 	appliers map[string]applyFunc
 
 	hbRx *heartbeat.Receiver
 	http *http.Server
+	mux  *http.ServeMux
 	ln   net.Listener
 	log  *slog.Logger
 
@@ -133,7 +134,7 @@ type Server struct {
 // NewServer starts a collection server with a UDP heartbeat port and an
 // HTTP upload API. Pass "127.0.0.1:0" style addresses; zero ports pick
 // ephemeral ones.
-func NewServer(udpAddr, httpAddr string, store *dataset.Sharded) (*Server, error) {
+func NewServer(udpAddr, httpAddr string, store dataset.IngestStore) (*Server, error) {
 	if store == nil {
 		store = dataset.NewSharded(0)
 	}
@@ -166,7 +167,7 @@ func NewServer(udpAddr, httpAddr string, store *dataset.Sharded) (*Server, error
 	s.appliers = newAppliers()
 	s.admit.Store(make(chan struct{}, DefaultMaxInflight))
 	s.advertiseBinary.Store(true)
-	rx, err := heartbeat.NewReceiver(udpAddr, store.Heartbeats, nil)
+	rx, err := heartbeat.NewReceiver(udpAddr, store.HeartbeatLog(), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -198,6 +199,7 @@ func NewServer(udpAddr, httpAddr string, store *dataset.Sharded) (*Server, error
 		return nil, fmt.Errorf("collector: listen %s: %w", httpAddr, err)
 	}
 	s.ln = ln
+	s.mux = mux
 	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	go s.http.Serve(ln)
 	s.log.Debug("listening", "udp", s.UDPAddr(), "http", s.HTTPAddr())
@@ -297,16 +299,21 @@ func (s *Server) UDPAddr() string { return s.hbRx.Addr().String() }
 // HTTPAddr returns the upload API address.
 func (s *Server) HTTPAddr() string { return s.ln.Addr().String() }
 
+// Mux exposes the collector's HTTP mux so callers can mount extra
+// views (e.g. the incremental figures dashboard). ServeMux registration
+// is safe after the server has started serving.
+func (s *Server) Mux() *http.ServeMux { return s.mux }
+
 // Store returns a merged point-in-time snapshot of everything the
 // server has collected, in global arrival order. The snapshot is safe
 // to read (and, after Close, to keep) — it shares nothing with the
 // ingest path except the internally-synchronized heartbeat log.
 func (s *Server) Store() *dataset.Store { return s.store.Merge() }
 
-// Sharded returns the server's live striped store, for callers that
+// Sharded returns the server's live ingest store, for callers that
 // need cheap row counts (RowCounts) or to share the store across a
 // server restart.
-func (s *Server) Sharded() *dataset.Sharded { return s.store }
+func (s *Server) Sharded() dataset.IngestStore { return s.store }
 
 // SetMaxInflight replaces the admission limit for data-plane uploads
 // (n <= 0 restores DefaultMaxInflight). Requests beyond the limit are
@@ -788,8 +795,9 @@ func (s *Server) stats() Stats {
 		Flows:      rc.Flows,
 		Throughput: rc.Throughput,
 	}
-	for _, id := range s.store.Heartbeats.Routers() {
-		st.Heartbeats += s.store.Heartbeats.Count(id)
+	hb := s.store.HeartbeatLog()
+	for _, id := range hb.Routers() {
+		st.Heartbeats += hb.Count(id)
 	}
 	return st
 }

@@ -13,6 +13,7 @@ import (
 	"natpeek/internal/analysis"
 	"natpeek/internal/dataset"
 	"natpeek/internal/figures"
+	"natpeek/internal/segment"
 	"natpeek/internal/world"
 )
 
@@ -72,6 +73,22 @@ func (s *Study) Run() error { return s.World.Run() }
 func Open(dir string) (*Study, error) {
 	st, err := dataset.Load(dir)
 	if err != nil {
+		return nil, err
+	}
+	return &Study{Store: st, Windows: figures.DefaultWindows()}, nil
+}
+
+// OpenSegments loads a study from a columnar segment directory written
+// by a segment-backed collector (bismark-server -segments). The store
+// is opened, merged into one analysis view, and closed again; a flush
+// of any recovered-but-unsealed state is a side effect of the close.
+func OpenSegments(dir string) (*Study, error) {
+	seg, err := segment.Open(segment.Options{Dir: dir, NoCompaction: true})
+	if err != nil {
+		return nil, err
+	}
+	st := seg.Merge()
+	if err := seg.Close(); err != nil {
 		return nil, err
 	}
 	return &Study{Store: st, Windows: figures.DefaultWindows()}, nil

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -31,32 +32,38 @@ const (
 
 const timeLayout = time.RFC3339Nano
 
-// Save writes every data set as CSV into dir (created if needed). The
-// nine files touch disjoint fields, so they are written concurrently —
-// on a fleet-size store the save is bounded by the largest file instead
-// of the sum. Each file's contents depend only on the store, never on
-// the fan-out, so saves stay byte-identical to a sequential write.
-func (s *Store) Save(dir string) error {
+// Column headers, shared by the Store and Sharded save paths.
+var (
+	rosterHeader     = []string{"router", "country"}
+	heartbeatsHeader = []string{"router", "start", "interval_sec", "count"}
+	uptimeHeader     = []string{"router", "reported_at", "uptime_sec"}
+	capacityHeader   = []string{"router", "measured_at", "up_bps", "down_bps"}
+	countsHeader     = []string{"router", "at", "wired", "w24", "w5"}
+	sightingsHeader  = []string{"router", "at", "device", "kind"}
+	wifiHeader       = []string{"router", "at", "band", "channel", "visible_aps", "clients"}
+	flowsHeader      = []string{"router", "device", "domain", "proto", "first", "last",
+		"up_bytes", "down_bytes", "up_pkts", "down_pkts", "conns"}
+	throughputHeader = []string{"router", "minute", "dir", "peak_bps", "total_bytes"}
+)
+
+// csvFile names one output file and the function that writes it.
+type csvFile struct {
+	name string
+	fn   func(w *csv.Writer) error
+}
+
+// saveCSVFiles writes the given files into dir (created if needed)
+// concurrently — the files touch disjoint data, so on a fleet-size store
+// the save is bounded by the largest file instead of the sum. Each
+// file's contents depend only on its writer, never on the fan-out, so
+// saves stay byte-identical to a sequential write.
+func saveCSVFiles(dir string, files []csvFile) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("dataset: %w", err)
 	}
-	writers := []struct {
-		name string
-		fn   func(w *csv.Writer) error
-	}{
-		{FileRoster, s.writeRoster},
-		{FileHeartbeats, s.writeHeartbeats},
-		{FileUptime, s.writeUptime},
-		{FileCapacity, s.writeCapacity},
-		{FileCounts, s.writeCounts},
-		{FileSightings, s.writeSightings},
-		{FileWiFi, s.writeWiFi},
-		{FileFlows, s.writeFlows},
-		{FileThroughput, s.writeThroughput},
-	}
-	errs := make([]error, len(writers))
+	errs := make([]error, len(files))
 	var wg sync.WaitGroup
-	for i, wr := range writers {
+	for i, wr := range files {
 		wg.Add(1)
 		go func(i int, name string, fn func(w *csv.Writer) error) {
 			defer wg.Done()
@@ -70,6 +77,22 @@ func (s *Store) Save(dir string) error {
 		}
 	}
 	return nil
+}
+
+// Save writes every data set as CSV into dir (created if needed), one
+// file per data set.
+func (s *Store) Save(dir string) error {
+	return saveCSVFiles(dir, []csvFile{
+		{FileRoster, s.writeRoster},
+		{FileHeartbeats, s.writeHeartbeats},
+		{FileUptime, s.writeUptime},
+		{FileCapacity, s.writeCapacity},
+		{FileCounts, s.writeCounts},
+		{FileSightings, s.writeSightings},
+		{FileWiFi, s.writeWiFi},
+		{FileFlows, s.writeFlows},
+		{FileThroughput, s.writeThroughput},
+	})
 }
 
 func writeFile(path string, fn func(w *csv.Writer) error) error {
@@ -90,26 +113,39 @@ func writeFile(path string, fn func(w *csv.Writer) error) error {
 	return f.Close()
 }
 
-func (s *Store) writeRoster(w *csv.Writer) error {
-	if err := w.Write([]string{"router", "country"}); err != nil {
+// The row writers below emit data rows only (no header); both Store.Save
+// and the streaming Sharded.Save call them, the latter once per shard
+// segment so rows flow straight from shard slices to disk.
+
+func writeRosterCSV(w *csv.Writer, roster map[string]string) error {
+	if err := w.Write(rosterHeader); err != nil {
 		return err
 	}
-	for _, id := range s.Routers() {
-		if err := w.Write([]string{id, s.RouterCountry[id]}); err != nil {
+	ids := make([]string, 0, len(roster))
+	for id := range roster {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if err := w.Write([]string{id, roster[id]}); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// writeHeartbeats persists the run-length encoding: expanding a fleet's
-// multi-month minute cadence to individual rows would be gigabytes.
-func (s *Store) writeHeartbeats(w *csv.Writer) error {
-	if err := w.Write([]string{"router", "start", "interval_sec", "count"}); err != nil {
+// writeHeartbeatsCSV persists the run-length encoding: expanding a
+// fleet's multi-month minute cadence to individual rows would be
+// gigabytes.
+func writeHeartbeatsCSV(w *csv.Writer, log *heartbeat.Log) error {
+	if err := w.Write(heartbeatsHeader); err != nil {
 		return err
 	}
-	for _, id := range s.Heartbeats.Routers() {
-		for _, r := range s.Heartbeats.Runs(id) {
+	if log == nil {
+		return nil
+	}
+	for _, id := range log.Routers() {
+		for _, r := range log.Runs(id) {
 			if err := w.Write([]string{id, r.Start.Format(timeLayout),
 				strconv.FormatFloat(r.Interval.Seconds(), 'f', 3, 64),
 				strconv.Itoa(r.Count)}); err != nil {
@@ -120,11 +156,8 @@ func (s *Store) writeHeartbeats(w *csv.Writer) error {
 	return nil
 }
 
-func (s *Store) writeUptime(w *csv.Writer) error {
-	if err := w.Write([]string{"router", "reported_at", "uptime_sec"}); err != nil {
-		return err
-	}
-	for _, r := range s.Uptime {
+func writeUptimeRows(w *csv.Writer, rows []UptimeReport) error {
+	for _, r := range rows {
 		if err := w.Write([]string{r.RouterID, r.ReportedAt.Format(timeLayout),
 			strconv.FormatFloat(r.Uptime.Seconds(), 'f', 0, 64)}); err != nil {
 			return err
@@ -133,11 +166,8 @@ func (s *Store) writeUptime(w *csv.Writer) error {
 	return nil
 }
 
-func (s *Store) writeCapacity(w *csv.Writer) error {
-	if err := w.Write([]string{"router", "measured_at", "up_bps", "down_bps"}); err != nil {
-		return err
-	}
-	for _, c := range s.Capacity {
+func writeCapacityRows(w *csv.Writer, rows []CapacityMeasure) error {
+	for _, c := range rows {
 		if err := w.Write([]string{c.RouterID, c.MeasuredAt.Format(timeLayout),
 			strconv.FormatFloat(c.UpBps, 'f', 0, 64),
 			strconv.FormatFloat(c.DownBps, 'f', 0, 64)}); err != nil {
@@ -147,11 +177,8 @@ func (s *Store) writeCapacity(w *csv.Writer) error {
 	return nil
 }
 
-func (s *Store) writeCounts(w *csv.Writer) error {
-	if err := w.Write([]string{"router", "at", "wired", "w24", "w5"}); err != nil {
-		return err
-	}
-	for _, c := range s.Counts {
+func writeCountRows(w *csv.Writer, rows []DeviceCount) error {
+	for _, c := range rows {
 		if err := w.Write([]string{c.RouterID, c.At.Format(timeLayout),
 			strconv.Itoa(c.Wired), strconv.Itoa(c.W24), strconv.Itoa(c.W5)}); err != nil {
 			return err
@@ -160,11 +187,8 @@ func (s *Store) writeCounts(w *csv.Writer) error {
 	return nil
 }
 
-func (s *Store) writeSightings(w *csv.Writer) error {
-	if err := w.Write([]string{"router", "at", "device", "kind"}); err != nil {
-		return err
-	}
-	for _, d := range s.Sightings {
+func writeSightingRows(w *csv.Writer, rows []DeviceSighting) error {
+	for _, d := range rows {
 		if err := w.Write([]string{d.RouterID, d.At.Format(timeLayout),
 			d.Device.String(), d.Kind.String()}); err != nil {
 			return err
@@ -173,11 +197,8 @@ func (s *Store) writeSightings(w *csv.Writer) error {
 	return nil
 }
 
-func (s *Store) writeWiFi(w *csv.Writer) error {
-	if err := w.Write([]string{"router", "at", "band", "channel", "visible_aps", "clients"}); err != nil {
-		return err
-	}
-	for _, sc := range s.WiFi {
+func writeWiFiRows(w *csv.Writer, rows []WiFiScan) error {
+	for _, sc := range rows {
 		if err := w.Write([]string{sc.RouterID, sc.At.Format(timeLayout), sc.Band,
 			strconv.Itoa(sc.Channel), strconv.Itoa(sc.VisibleAPs), strconv.Itoa(sc.Clients)}); err != nil {
 			return err
@@ -186,12 +207,8 @@ func (s *Store) writeWiFi(w *csv.Writer) error {
 	return nil
 }
 
-func (s *Store) writeFlows(w *csv.Writer) error {
-	if err := w.Write([]string{"router", "device", "domain", "proto", "first", "last",
-		"up_bytes", "down_bytes", "up_pkts", "down_pkts", "conns"}); err != nil {
-		return err
-	}
-	for _, f := range s.Flows {
+func writeFlowRows(w *csv.Writer, rows []FlowRecord) error {
+	for _, f := range rows {
 		if err := w.Write([]string{f.RouterID, f.Device.String(), f.Domain, f.Proto,
 			f.First.Format(timeLayout), f.Last.Format(timeLayout),
 			strconv.FormatInt(f.UpBytes, 10), strconv.FormatInt(f.DownBytes, 10),
@@ -203,11 +220,8 @@ func (s *Store) writeFlows(w *csv.Writer) error {
 	return nil
 }
 
-func (s *Store) writeThroughput(w *csv.Writer) error {
-	if err := w.Write([]string{"router", "minute", "dir", "peak_bps", "total_bytes"}); err != nil {
-		return err
-	}
-	for _, t := range s.Throughput {
+func writeThroughputRows(w *csv.Writer, rows []ThroughputSample) error {
+	for _, t := range rows {
 		if err := w.Write([]string{t.RouterID, t.Minute.Format(timeLayout), t.Dir,
 			strconv.FormatFloat(t.PeakBps, 'f', 0, 64),
 			strconv.FormatInt(t.TotalBytes, 10)}); err != nil {
@@ -215,6 +229,59 @@ func (s *Store) writeThroughput(w *csv.Writer) error {
 		}
 	}
 	return nil
+}
+
+func (s *Store) writeRoster(w *csv.Writer) error { return writeRosterCSV(w, s.RouterCountry) }
+
+func (s *Store) writeHeartbeats(w *csv.Writer) error { return writeHeartbeatsCSV(w, s.Heartbeats) }
+
+func (s *Store) writeUptime(w *csv.Writer) error {
+	if err := w.Write(uptimeHeader); err != nil {
+		return err
+	}
+	return writeUptimeRows(w, s.Uptime)
+}
+
+func (s *Store) writeCapacity(w *csv.Writer) error {
+	if err := w.Write(capacityHeader); err != nil {
+		return err
+	}
+	return writeCapacityRows(w, s.Capacity)
+}
+
+func (s *Store) writeCounts(w *csv.Writer) error {
+	if err := w.Write(countsHeader); err != nil {
+		return err
+	}
+	return writeCountRows(w, s.Counts)
+}
+
+func (s *Store) writeSightings(w *csv.Writer) error {
+	if err := w.Write(sightingsHeader); err != nil {
+		return err
+	}
+	return writeSightingRows(w, s.Sightings)
+}
+
+func (s *Store) writeWiFi(w *csv.Writer) error {
+	if err := w.Write(wifiHeader); err != nil {
+		return err
+	}
+	return writeWiFiRows(w, s.WiFi)
+}
+
+func (s *Store) writeFlows(w *csv.Writer) error {
+	if err := w.Write(flowsHeader); err != nil {
+		return err
+	}
+	return writeFlowRows(w, s.Flows)
+}
+
+func (s *Store) writeThroughput(w *csv.Writer) error {
+	if err := w.Write(throughputHeader); err != nil {
+		return err
+	}
+	return writeThroughputRows(w, s.Throughput)
 }
 
 // Load reads a directory written by Save.

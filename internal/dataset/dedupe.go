@@ -49,6 +49,23 @@ func (a *AppliedIndex) Mark(key string) bool {
 // Len returns the number of remembered keys.
 func (a *AppliedIndex) Len() int { return len(a.seen) }
 
+// Keys returns the remembered keys in insertion (FIFO) order, oldest
+// first. Copying them in that order into a fresh index reproduces this
+// index's eviction window exactly — that is how the segment store hands
+// dedupe state from a sealed memtable to its successor.
+func (a *AppliedIndex) Keys() []string {
+	if len(a.seen) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(a.seen))
+	for _, k := range a.order[a.head:] {
+		if k != "" && a.seen[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
 // MarkApplied is Store's entry point to the dedupe index; callers must
 // hold whatever lock serializes store mutation (the collector's).
 func (s *Store) MarkApplied(key string) bool { return s.Applied.Mark(key) }

@@ -18,6 +18,7 @@
 package dataset
 
 import (
+	"encoding/csv"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -177,6 +178,30 @@ func (s *Sharded) record(sh *shard, before [numKinds]int) {
 	}
 }
 
+// AdoptDedupe copies src's remembered idempotency keys into s, stripe by
+// stripe and in each stripe's insertion order, so s rejects exactly the
+// replays src would have rejected. Both stores must have the same stripe
+// count (keys carry no router, so cross-stripe routing can't be
+// recomputed). The segment store calls this when it seals a memtable and
+// swaps in an empty successor: exactly-once must not reset at the flush
+// boundary.
+func (s *Sharded) AdoptDedupe(src *Sharded) {
+	if len(s.shards) != len(src.shards) {
+		panic("dataset: AdoptDedupe across different stripe counts")
+	}
+	for i, sh := range s.shards {
+		ssh := src.shards[i]
+		ssh.mu.Lock()
+		keys := ssh.applied.Keys()
+		ssh.mu.Unlock()
+		sh.mu.Lock()
+		for _, k := range keys {
+			sh.applied.Mark(k)
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // DedupeLen returns the number of idempotency keys remembered across all
 // stripes.
 func (s *Sharded) DedupeLen() int {
@@ -221,6 +246,20 @@ func (s *Sharded) RowCounts() RowCounts {
 	return rc
 }
 
+// Roster returns a merged copy of the router→country metadata across
+// all stripes (one lock acquisition per stripe, no row copying).
+func (s *Sharded) Roster() map[string]string {
+	out := make(map[string]string)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for id, cc := range sh.store.RouterCountry {
+			out[id] = cc
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
 // Merge reassembles a plain Store snapshot in global arrival order. The
 // snapshot shares the (internally synchronized) heartbeat log and copies
 // every row; its dedupe index is empty — dedupe state stays with the
@@ -260,20 +299,7 @@ func (s *Sharded) Merge() *Store {
 	out.Flows = make([]FlowRecord, 0, total[kindFlows])
 	out.Throughput = make([]ThroughputSample, 0, total[kindThroughput])
 
-	type ref struct {
-		st  *Store
-		seg segment
-	}
-	all := make([]ref, 0, nsegs)
-	for _, sh := range s.shards {
-		for _, seg := range sh.segs {
-			all = append(all, ref{st: sh.store, seg: seg})
-		}
-	}
-	// Per-shard segment lists are already seq-sorted (seqs are taken
-	// under the shard lock), so a k-way merge would do; a plain sort is
-	// simpler and Merge is far off the hot path.
-	sort.Slice(all, func(i, j int) bool { return all[i].seg.seq < all[j].seg.seq })
+	all := s.orderedRefs(nsegs)
 	for _, r := range all {
 		st, seg := r.st, r.seg
 		switch seg.kind {
@@ -296,6 +322,143 @@ func (s *Sharded) Merge() *Store {
 	return out
 }
 
+// ref pairs one shard-local segment with the store that holds its rows.
+type ref struct {
+	st  *Store
+	seg segment
+}
+
+// orderedRefs collects every shard's segments sorted by global arrival
+// sequence. Callers must hold all stripe locks. Per-shard segment lists
+// are already seq-sorted (seqs are taken under the shard lock), so a
+// k-way merge would do; a plain sort is simpler and both callers (Merge,
+// Save) are far off the hot path.
+func (s *Sharded) orderedRefs(nsegs int) []ref {
+	all := make([]ref, 0, nsegs)
+	for _, sh := range s.shards {
+		for _, seg := range sh.segs {
+			all = append(all, ref{st: sh.store, seg: seg})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seg.seq < all[j].seg.seq })
+	return all
+}
+
 // Save persists a consistent snapshot of the store as the standard CSV
-// layout (one file per data set, written concurrently — see Store.Save).
-func (s *Sharded) Save(dir string) error { return s.Merge().Save(dir) }
+// layout (one file per data set, written concurrently, byte-identical to
+// Merge().Save). Rows stream straight from the shard slices in global
+// arrival order — the previous implementation materialized a full merged
+// copy of every slice just to write CSV, doubling peak memory at exactly
+// the fleet sizes where Save matters. The price is that all stripe locks
+// are held for the duration of the write; Save runs at shutdown or
+// checkpoint time, never on the ingest path.
+func (s *Sharded) Save(dir string) error {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for _, sh := range s.shards {
+			sh.mu.Unlock()
+		}
+	}()
+
+	nsegs := 0
+	roster := make(map[string]string)
+	for _, sh := range s.shards {
+		nsegs += len(sh.segs)
+		for id, cc := range sh.store.RouterCountry {
+			roster[id] = cc
+		}
+	}
+	all := s.orderedRefs(nsegs)
+	kindRefs := func(k rowKind) []ref {
+		out := make([]ref, 0, 8)
+		for _, r := range all {
+			if r.seg.kind == k {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	return saveCSVFiles(dir, []csvFile{
+		{FileRoster, func(w *csv.Writer) error { return writeRosterCSV(w, roster) }},
+		{FileHeartbeats, func(w *csv.Writer) error { return writeHeartbeatsCSV(w, s.Heartbeats) }},
+		{FileUptime, func(w *csv.Writer) error {
+			if err := w.Write(uptimeHeader); err != nil {
+				return err
+			}
+			for _, r := range kindRefs(kindUptime) {
+				if err := writeUptimeRows(w, r.st.Uptime[r.seg.off:r.seg.off+r.seg.n]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{FileCapacity, func(w *csv.Writer) error {
+			if err := w.Write(capacityHeader); err != nil {
+				return err
+			}
+			for _, r := range kindRefs(kindCapacity) {
+				if err := writeCapacityRows(w, r.st.Capacity[r.seg.off:r.seg.off+r.seg.n]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{FileCounts, func(w *csv.Writer) error {
+			if err := w.Write(countsHeader); err != nil {
+				return err
+			}
+			for _, r := range kindRefs(kindCounts) {
+				if err := writeCountRows(w, r.st.Counts[r.seg.off:r.seg.off+r.seg.n]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{FileSightings, func(w *csv.Writer) error {
+			if err := w.Write(sightingsHeader); err != nil {
+				return err
+			}
+			for _, r := range kindRefs(kindSightings) {
+				if err := writeSightingRows(w, r.st.Sightings[r.seg.off:r.seg.off+r.seg.n]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{FileWiFi, func(w *csv.Writer) error {
+			if err := w.Write(wifiHeader); err != nil {
+				return err
+			}
+			for _, r := range kindRefs(kindWiFi) {
+				if err := writeWiFiRows(w, r.st.WiFi[r.seg.off:r.seg.off+r.seg.n]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{FileFlows, func(w *csv.Writer) error {
+			if err := w.Write(flowsHeader); err != nil {
+				return err
+			}
+			for _, r := range kindRefs(kindFlows) {
+				if err := writeFlowRows(w, r.st.Flows[r.seg.off:r.seg.off+r.seg.n]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{FileThroughput, func(w *csv.Writer) error {
+			if err := w.Write(throughputHeader); err != nil {
+				return err
+			}
+			for _, r := range kindRefs(kindThroughput) {
+				if err := writeThroughputRows(w, r.st.Throughput[r.seg.off:r.seg.off+r.seg.n]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+	})
+}

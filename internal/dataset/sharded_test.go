@@ -281,3 +281,68 @@ func TestShardedLoadRoundTrip(t *testing.T) {
 		t.Fatalf("roster changed across save/load")
 	}
 }
+
+// TestAdoptDedupe pins the dedupe handoff the segment store relies on at
+// memtable rotation: after adoption, the successor rejects exactly the
+// keys the sealed store had applied, including across FIFO eviction
+// order, and fresh keys still apply.
+func TestAdoptDedupe(t *testing.T) {
+	old := NewSharded(4)
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("bismark-%03d", i%9)
+		if !old.Apply(id, fmt.Sprintf("k:%s:%d", id, i), func(st *Store) {
+			st.Uptime = append(st.Uptime, UptimeReport{RouterID: id, ReportedAt: shardT0})
+		}) {
+			t.Fatalf("fresh key %d reported duplicate", i)
+		}
+	}
+
+	fresh := NewSharded(4)
+	fresh.AdoptDedupe(old)
+	if got, want := fresh.DedupeLen(), old.DedupeLen(); got != want {
+		t.Fatalf("adopted %d keys, want %d", got, want)
+	}
+	// Every replay must be rejected without touching the rows.
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("bismark-%03d", i%9)
+		if fresh.Apply(id, fmt.Sprintf("k:%s:%d", id, i), func(st *Store) {
+			st.Uptime = append(st.Uptime, UptimeReport{RouterID: id, ReportedAt: shardT0})
+		}) {
+			t.Fatalf("replayed key %d applied after adoption", i)
+		}
+	}
+	if rc := fresh.RowCounts(); rc.Uptime != 0 {
+		t.Fatalf("replays appended %d rows", rc.Uptime)
+	}
+	// New keys still apply.
+	if !fresh.Apply("bismark-000", "k:new", func(st *Store) {}) {
+		t.Fatal("fresh key rejected")
+	}
+
+	// Keys() preserves FIFO order.
+	var a AppliedIndex
+	for _, k := range []string{"a", "b", "c"} {
+		a.Mark(k)
+	}
+	if got := a.Keys(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("Keys() = %v, want [a b c]", got)
+	}
+}
+
+// TestShardedSaveStreamsWithoutMerge documents the streaming-save
+// contract on an empty and a tiny store (the byte-identity against the
+// seed store is TestShardedMatchesSeedStoreCSV).
+func TestShardedSaveStreamsWithoutMerge(t *testing.T) {
+	s := NewSharded(2)
+	dir := t.TempDir()
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	ld, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ld.Uptime)+len(ld.Flows) != 0 {
+		t.Fatal("empty save loaded rows")
+	}
+}

@@ -1,0 +1,105 @@
+package figures
+
+import (
+	"testing"
+
+	"natpeek/internal/analysis"
+	"natpeek/internal/dataset"
+	"natpeek/internal/segment"
+)
+
+func storeRows(st *dataset.Store) int {
+	return len(st.Uptime) + len(st.Capacity) + len(st.Counts) +
+		len(st.Sightings) + len(st.WiFi) + len(st.Flows) + len(st.Throughput)
+}
+
+// BenchmarkAnalysisScan compares regenerating every exhibit from the
+// in-memory store against doing the same from sealed segment files
+// (open + merge + analyze) — the price of durability on the read path.
+func BenchmarkAnalysisScan(b *testing.B) {
+	st, win := study(b)
+	rows := storeRows(st)
+
+	b.Run("source=memory", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			All(st, win)
+		}
+		b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+
+	dir := b.TempDir()
+	seg, err := segment.Open(segment.Options{Dir: dir, NoCompaction: true, FlushRows: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	feedChunks(seg, chunkStores(st, 8), func() {
+		if err := seg.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	if err := seg.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("source=segments", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			re, err := segment.Open(segment.Options{Dir: dir, NoCompaction: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			All(re.Merge(), win)
+			if err := re.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+}
+
+// BenchmarkFigureRefresh prices one dashboard update when a new segment
+// seals. Both paths start from the same sealed-chunk stream: full
+// recomputation rebuilds the store from every chunk and renders;
+// the incremental path clones the partial state, folds only the new
+// chunk, materializes, and renders.
+func BenchmarkFigureRefresh(b *testing.B) {
+	st, win := study(b)
+	chunks := chunkStores(st, 8)
+
+	rebuild := func() *dataset.Store {
+		dst := &dataset.Store{RouterCountry: map[string]string{}, Heartbeats: st.Heartbeats}
+		for _, c := range chunks {
+			for id, code := range c.RouterCountry {
+				dst.RouterCountry[id] = code
+			}
+			dst.Uptime = append(dst.Uptime, c.Uptime...)
+			dst.Capacity = append(dst.Capacity, c.Capacity...)
+			dst.Counts = append(dst.Counts, c.Counts...)
+			dst.Sightings = append(dst.Sightings, c.Sightings...)
+			dst.WiFi = append(dst.WiFi, c.WiFi...)
+			dst.Flows = append(dst.Flows, c.Flows...)
+			dst.Throughput = append(dst.Throughput, c.Throughput...)
+		}
+		return dst
+	}
+	b.Run("mode=full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			All(rebuild(), win)
+		}
+	})
+
+	base := analysis.NewPartial()
+	for _, c := range chunks[:len(chunks)-1] {
+		base.Fold(c)
+	}
+	tail := chunks[len(chunks)-1]
+	b.Run("mode=incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cl := base.Clone()
+			cl.Fold(tail)
+			All(cl.Store(st.Heartbeats), win)
+		}
+	})
+}

@@ -20,7 +20,7 @@ var (
 	testWin Windows
 )
 
-func study(t *testing.T) (*dataset.Store, Windows) {
+func study(t testing.TB) (*dataset.Store, Windows) {
 	t.Helper()
 	once.Do(func() {
 		w := world.Build(world.Config{Seed: 7, Scale: 0.4, TrafficHomes: 10})

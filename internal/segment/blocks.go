@@ -1,0 +1,474 @@
+// Per-data-set block schemas: each data set's rows encode column-major
+// in struct-field order. Decoders must tolerate arbitrary bytes — every
+// column read is bounds-checked and the block CRC has already been
+// verified by the caller, so errors here mean either corruption the CRC
+// missed (forged whole-block rewrites) or a version we don't speak.
+package segment
+
+import (
+	"time"
+
+	"natpeek/internal/dataset"
+)
+
+func encodeUptime(rows []dataset.UptimeReport) []byte {
+	var e enc
+	var routers strDict
+	for _, r := range rows {
+		routers.encode(&e, r.RouterID)
+	}
+	ts := make([]time.Time, len(rows))
+	for i, r := range rows {
+		ts[i] = r.ReportedAt
+	}
+	encodeTimes(&e, ts)
+	for _, r := range rows {
+		e.varint(int64(r.Uptime))
+	}
+	return e.buf
+}
+
+func (r *Reader) uptime() ([]dataset.UptimeReport, error) {
+	d, n, err := r.block(blkUptime)
+	if err != nil || d == nil || n == 0 {
+		return nil, err
+	}
+	rows := make([]dataset.UptimeReport, n)
+	var routers strUndict
+	for i := range rows {
+		if rows[i].RouterID, err = routers.decode(d); err != nil {
+			return nil, err
+		}
+	}
+	ts, err := decodeTimes(d, n)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].ReportedAt = ts[i]
+	}
+	for i := range rows {
+		v, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		rows[i].Uptime = time.Duration(v)
+	}
+	return rows, nil
+}
+
+func encodeCapacity(rows []dataset.CapacityMeasure) []byte {
+	var e enc
+	var routers strDict
+	for _, r := range rows {
+		routers.encode(&e, r.RouterID)
+	}
+	ts := make([]time.Time, len(rows))
+	for i, r := range rows {
+		ts[i] = r.MeasuredAt
+	}
+	encodeTimes(&e, ts)
+	for _, r := range rows {
+		e.f64(r.UpBps)
+	}
+	for _, r := range rows {
+		e.f64(r.DownBps)
+	}
+	return e.buf
+}
+
+func (r *Reader) capacity() ([]dataset.CapacityMeasure, error) {
+	d, n, err := r.block(blkCapacity)
+	if err != nil || d == nil || n == 0 {
+		return nil, err
+	}
+	rows := make([]dataset.CapacityMeasure, n)
+	var routers strUndict
+	for i := range rows {
+		if rows[i].RouterID, err = routers.decode(d); err != nil {
+			return nil, err
+		}
+	}
+	ts, err := decodeTimes(d, n)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].MeasuredAt = ts[i]
+	}
+	for i := range rows {
+		if rows[i].UpBps, err = d.f64(); err != nil {
+			return nil, err
+		}
+	}
+	for i := range rows {
+		if rows[i].DownBps, err = d.f64(); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+func encodeCounts(rows []dataset.DeviceCount) []byte {
+	var e enc
+	var routers strDict
+	for _, r := range rows {
+		routers.encode(&e, r.RouterID)
+	}
+	ts := make([]time.Time, len(rows))
+	for i, r := range rows {
+		ts[i] = r.At
+	}
+	encodeTimes(&e, ts)
+	for _, r := range rows {
+		e.varint(int64(r.Wired))
+	}
+	for _, r := range rows {
+		e.varint(int64(r.W24))
+	}
+	for _, r := range rows {
+		e.varint(int64(r.W5))
+	}
+	return e.buf
+}
+
+func (r *Reader) counts() ([]dataset.DeviceCount, error) {
+	d, n, err := r.block(blkCounts)
+	if err != nil || d == nil || n == 0 {
+		return nil, err
+	}
+	rows := make([]dataset.DeviceCount, n)
+	var routers strUndict
+	for i := range rows {
+		if rows[i].RouterID, err = routers.decode(d); err != nil {
+			return nil, err
+		}
+	}
+	ts, err := decodeTimes(d, n)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].At = ts[i]
+	}
+	for _, fld := range []func(*dataset.DeviceCount) *int{
+		func(c *dataset.DeviceCount) *int { return &c.Wired },
+		func(c *dataset.DeviceCount) *int { return &c.W24 },
+		func(c *dataset.DeviceCount) *int { return &c.W5 },
+	} {
+		for i := range rows {
+			v, err := d.varint()
+			if err != nil {
+				return nil, err
+			}
+			*fld(&rows[i]) = int(v)
+		}
+	}
+	return rows, nil
+}
+
+func encodeSightings(rows []dataset.DeviceSighting) []byte {
+	var e enc
+	var routers strDict
+	for _, r := range rows {
+		routers.encode(&e, r.RouterID)
+	}
+	ts := make([]time.Time, len(rows))
+	for i, r := range rows {
+		ts[i] = r.At
+	}
+	encodeTimes(&e, ts)
+	for _, r := range rows {
+		e.mac(r.Device)
+	}
+	for _, r := range rows {
+		e.uvarint(uint64(r.Kind))
+	}
+	return e.buf
+}
+
+func (r *Reader) sightings() ([]dataset.DeviceSighting, error) {
+	d, n, err := r.block(blkSightings)
+	if err != nil || d == nil || n == 0 {
+		return nil, err
+	}
+	rows := make([]dataset.DeviceSighting, n)
+	var routers strUndict
+	for i := range rows {
+		if rows[i].RouterID, err = routers.decode(d); err != nil {
+			return nil, err
+		}
+	}
+	ts, err := decodeTimes(d, n)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].At = ts[i]
+	}
+	for i := range rows {
+		if rows[i].Device, err = d.mac(); err != nil {
+			return nil, err
+		}
+	}
+	for i := range rows {
+		v, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		rows[i].Kind = dataset.ConnKind(v)
+	}
+	return rows, nil
+}
+
+func encodeWiFi(rows []dataset.WiFiScan) []byte {
+	var e enc
+	var routers, bands strDict
+	for _, r := range rows {
+		routers.encode(&e, r.RouterID)
+	}
+	ts := make([]time.Time, len(rows))
+	for i, r := range rows {
+		ts[i] = r.At
+	}
+	encodeTimes(&e, ts)
+	for _, r := range rows {
+		bands.encode(&e, r.Band)
+	}
+	for _, r := range rows {
+		e.varint(int64(r.Channel))
+	}
+	for _, r := range rows {
+		e.varint(int64(r.VisibleAPs))
+	}
+	for _, r := range rows {
+		e.varint(int64(r.Clients))
+	}
+	return e.buf
+}
+
+func (r *Reader) wifi() ([]dataset.WiFiScan, error) {
+	d, n, err := r.block(blkWiFi)
+	if err != nil || d == nil || n == 0 {
+		return nil, err
+	}
+	rows := make([]dataset.WiFiScan, n)
+	var routers, bands strUndict
+	for i := range rows {
+		if rows[i].RouterID, err = routers.decode(d); err != nil {
+			return nil, err
+		}
+	}
+	ts, err := decodeTimes(d, n)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].At = ts[i]
+	}
+	for i := range rows {
+		if rows[i].Band, err = bands.decode(d); err != nil {
+			return nil, err
+		}
+	}
+	for _, fld := range []func(*dataset.WiFiScan) *int{
+		func(s *dataset.WiFiScan) *int { return &s.Channel },
+		func(s *dataset.WiFiScan) *int { return &s.VisibleAPs },
+		func(s *dataset.WiFiScan) *int { return &s.Clients },
+	} {
+		for i := range rows {
+			v, err := d.varint()
+			if err != nil {
+				return nil, err
+			}
+			*fld(&rows[i]) = int(v)
+		}
+	}
+	return rows, nil
+}
+
+func encodeFlows(rows []dataset.FlowRecord) []byte {
+	var e enc
+	var routers, domains, protos strDict
+	for _, r := range rows {
+		routers.encode(&e, r.RouterID)
+	}
+	for _, r := range rows {
+		e.mac(r.Device)
+	}
+	for _, r := range rows {
+		domains.encode(&e, r.Domain)
+	}
+	for _, r := range rows {
+		protos.encode(&e, r.Proto)
+	}
+	ts := make([]time.Time, len(rows))
+	for i, r := range rows {
+		ts[i] = r.First
+	}
+	encodeTimes(&e, ts)
+	for i, r := range rows {
+		ts[i] = r.Last
+	}
+	encodeTimes(&e, ts)
+	for _, fld := range []func(*dataset.FlowRecord) int64{
+		func(f *dataset.FlowRecord) int64 { return f.UpBytes },
+		func(f *dataset.FlowRecord) int64 { return f.DownBytes },
+		func(f *dataset.FlowRecord) int64 { return f.UpPkts },
+		func(f *dataset.FlowRecord) int64 { return f.DownPkts },
+		func(f *dataset.FlowRecord) int64 { return f.Conns },
+	} {
+		for i := range rows {
+			e.varint(fld(&rows[i]))
+		}
+	}
+	return e.buf
+}
+
+func (r *Reader) flows() ([]dataset.FlowRecord, error) {
+	d, n, err := r.block(blkFlows)
+	if err != nil || d == nil || n == 0 {
+		return nil, err
+	}
+	rows := make([]dataset.FlowRecord, n)
+	var routers, domains, protos strUndict
+	for i := range rows {
+		if rows[i].RouterID, err = routers.decode(d); err != nil {
+			return nil, err
+		}
+	}
+	for i := range rows {
+		if rows[i].Device, err = d.mac(); err != nil {
+			return nil, err
+		}
+	}
+	for i := range rows {
+		if rows[i].Domain, err = domains.decode(d); err != nil {
+			return nil, err
+		}
+	}
+	for i := range rows {
+		if rows[i].Proto, err = protos.decode(d); err != nil {
+			return nil, err
+		}
+	}
+	ts, err := decodeTimes(d, n)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].First = ts[i]
+	}
+	if ts, err = decodeTimes(d, n); err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].Last = ts[i]
+	}
+	for _, fld := range []func(*dataset.FlowRecord) *int64{
+		func(f *dataset.FlowRecord) *int64 { return &f.UpBytes },
+		func(f *dataset.FlowRecord) *int64 { return &f.DownBytes },
+		func(f *dataset.FlowRecord) *int64 { return &f.UpPkts },
+		func(f *dataset.FlowRecord) *int64 { return &f.DownPkts },
+		func(f *dataset.FlowRecord) *int64 { return &f.Conns },
+	} {
+		for i := range rows {
+			if *fld(&rows[i]), err = d.varint(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rows, nil
+}
+
+func encodeThroughput(rows []dataset.ThroughputSample) []byte {
+	var e enc
+	var routers, dirs strDict
+	for _, r := range rows {
+		routers.encode(&e, r.RouterID)
+	}
+	ts := make([]time.Time, len(rows))
+	for i, r := range rows {
+		ts[i] = r.Minute
+	}
+	encodeTimes(&e, ts)
+	for _, r := range rows {
+		dirs.encode(&e, r.Dir)
+	}
+	for _, r := range rows {
+		e.f64(r.PeakBps)
+	}
+	for _, r := range rows {
+		e.varint(r.TotalBytes)
+	}
+	return e.buf
+}
+
+func (r *Reader) throughput() ([]dataset.ThroughputSample, error) {
+	d, n, err := r.block(blkThroughput)
+	if err != nil || d == nil || n == 0 {
+		return nil, err
+	}
+	rows := make([]dataset.ThroughputSample, n)
+	var routers, dirs strUndict
+	for i := range rows {
+		if rows[i].RouterID, err = routers.decode(d); err != nil {
+			return nil, err
+		}
+	}
+	ts, err := decodeTimes(d, n)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].Minute = ts[i]
+	}
+	for i := range rows {
+		if rows[i].Dir, err = dirs.decode(d); err != nil {
+			return nil, err
+		}
+	}
+	for i := range rows {
+		if rows[i].PeakBps, err = d.f64(); err != nil {
+			return nil, err
+		}
+	}
+	for i := range rows {
+		if rows[i].TotalBytes, err = d.varint(); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+func encodeKeys(keys []Key) []byte {
+	var e enc
+	var routers strDict
+	for _, k := range keys {
+		routers.encode(&e, k.Router)
+	}
+	for _, k := range keys {
+		e.str(k.Key)
+	}
+	return e.buf
+}
+
+func decodeKeys(d *dec, n int) ([]Key, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]Key, n)
+	var routers strUndict
+	var err error
+	for i := range out {
+		if out[i].Router, err = routers.decode(d); err != nil {
+			return nil, err
+		}
+	}
+	for i := range out {
+		if out[i].Key, err = d.str(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,235 @@
+// Column codecs for the NPS1 segment format. These mirror the NPB1 wire
+// codec's primitives — zigzag-varint integers, dictionary-coded strings,
+// raw 6-byte MACs, little-endian IEEE-754 floats — but are written for
+// storage rather than transport: every value decodes with strict bounds
+// checks, and timestamps use an exact split encoding (delta-coded Unix
+// seconds plus nanoseconds) instead of the wire's single delta-nano
+// chain, so any time.Time instant round-trips with no sentinel value and
+// no nudging. Decoded times carry the UTC location; every row the
+// pipeline ingests is UTC-canonicalized already (wire and JSON decode
+// both normalize), so this is an identity for stored data.
+package segment
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"natpeek/internal/mac"
+)
+
+var errCorrupt = errors.New("segment: corrupt data")
+
+// enc accumulates one block's column-major payload.
+type enc struct {
+	buf []byte
+}
+
+func (e *enc) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *enc) varint(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+
+func (e *enc) bytes(b []byte) { e.buf = append(e.buf, b...) }
+
+func (e *enc) f64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+// strDict dictionary-codes one string column: 0 means "literal follows,
+// assign the next index", v > 0 means dictionary entry v-1. Router IDs,
+// bands, directions, protocols, and domains are all low-cardinality per
+// segment, so the column collapses to near one byte per row.
+type strDict struct {
+	idx map[string]uint64
+}
+
+func (d *strDict) encode(e *enc, s string) {
+	if d.idx == nil {
+		d.idx = make(map[string]uint64)
+	}
+	if ref, ok := d.idx[s]; ok {
+		e.uvarint(ref + 1)
+		return
+	}
+	d.idx[s] = uint64(len(d.idx))
+	e.uvarint(0)
+	e.uvarint(uint64(len(s)))
+	e.bytes([]byte(s))
+}
+
+// dec walks one block's payload.
+type dec struct {
+	buf []byte
+	off int
+}
+
+func (d *dec) remaining() int { return len(d.buf) - d.off }
+
+func (d *dec) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, errCorrupt
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *dec) varint() (int64, error) {
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, errCorrupt
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *dec) take(n int) ([]byte, error) {
+	if n < 0 || d.remaining() < n {
+		return nil, errCorrupt
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+func (d *dec) f64() (float64, error) {
+	b, err := d.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+}
+
+// str decodes one length-prefixed string (used by footers and the key
+// block, where no dictionary applies).
+func (d *dec) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(d.remaining()) {
+		return "", errCorrupt
+	}
+	b, err := d.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (e *enc) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.bytes([]byte(s))
+}
+
+// strUndict decodes one dictionary-coded string column value.
+type strUndict struct {
+	dict []string
+}
+
+func (d *strUndict) decode(dd *dec) (string, error) {
+	ref, err := dd.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if ref == 0 {
+		s, err := dd.str()
+		if err != nil {
+			return "", err
+		}
+		d.dict = append(d.dict, s)
+		return s, nil
+	}
+	if ref > uint64(len(d.dict)) {
+		return "", fmt.Errorf("%w: string ref %d beyond dictionary of %d", errCorrupt, ref, len(d.dict))
+	}
+	return d.dict[ref-1], nil
+}
+
+// encodeTimes writes one time column: a list of zero-value row indexes
+// (so time.Time{} round-trips exactly), then for every non-zero row a
+// zigzag-varint delta of Unix seconds against the previous non-zero row
+// plus the intra-second nanoseconds. Unlike the wire codec's delta-nano
+// chain there is no sentinel value to collide with and no range limit:
+// any wall-clock instant representable in int64 seconds round-trips.
+func encodeTimes(e *enc, ts []time.Time) {
+	var zeros []uint64
+	for i, t := range ts {
+		if t.IsZero() {
+			zeros = append(zeros, uint64(i))
+		}
+	}
+	e.uvarint(uint64(len(zeros)))
+	for _, z := range zeros {
+		e.uvarint(z)
+	}
+	prevSec := int64(0)
+	for _, t := range ts {
+		if t.IsZero() {
+			continue
+		}
+		sec := t.Unix()
+		e.varint(sec - prevSec)
+		prevSec = sec
+		e.uvarint(uint64(t.Nanosecond()))
+	}
+}
+
+// decodeTimes reads a column of n timestamps.
+func decodeTimes(d *dec, n int) ([]time.Time, error) {
+	nz, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nz > uint64(n) {
+		return nil, fmt.Errorf("%w: %d zero-time rows in a column of %d", errCorrupt, nz, n)
+	}
+	zero := make(map[int]bool, nz)
+	prevIdx := -1
+	for i := uint64(0); i < nz; i++ {
+		v, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if v >= uint64(n) || int(v) <= prevIdx {
+			return nil, fmt.Errorf("%w: zero-time index %d out of order or range", errCorrupt, v)
+		}
+		prevIdx = int(v)
+		zero[int(v)] = true
+	}
+	out := make([]time.Time, n)
+	prevSec := int64(0)
+	for i := 0; i < n; i++ {
+		if zero[i] {
+			continue
+		}
+		dsec, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		nsec, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nsec >= uint64(time.Second) {
+			return nil, fmt.Errorf("%w: %d nanoseconds within a second", errCorrupt, nsec)
+		}
+		sec := prevSec + dsec
+		prevSec = sec
+		out[i] = time.Unix(sec, int64(nsec)).UTC()
+	}
+	return out, nil
+}
+
+func (e *enc) mac(a mac.Addr) { e.bytes(a[:]) }
+
+func (d *dec) mac() (mac.Addr, error) {
+	var a mac.Addr
+	b, err := d.take(len(a))
+	if err != nil {
+		return a, err
+	}
+	copy(a[:], b)
+	return a, nil
+}

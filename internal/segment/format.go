@@ -1,0 +1,485 @@
+// The NPS1 segment file format.
+//
+//	file    := magic "NPS1" | block… | footer | trailer
+//	trailer := uint32le footerLen | uint32le crc32(footer) | magic "1SPN"
+//	footer  := uvarint version (=1)
+//	           uvarint firstSeq | uvarint lastSeq
+//	           uvarint nReplaces | nReplaces × (uvarint firstSeq | uvarint lastSeq)
+//	           byte hasTimeRange | [varint minSec | uvarint minNsec |
+//	                                varint maxSec | uvarint maxNsec]
+//	           uvarint nRoster | nRoster × (str routerID | str country)
+//	           uvarint nBlocks | nBlocks × (uvarint blockKind | uvarint off |
+//	                                        uvarint len | uvarint rows |
+//	                                        uint32le crc32(payload))
+//
+// Blocks are column-major: one block per data set plus one for the
+// idempotency keys the segment's rows were applied under (the durable
+// half of the exactly-once handoff — see store.go). Within a block each
+// column is written in full before the next, in struct-field order, so a
+// reader that wants one column of one data set touches one contiguous
+// byte range; the footer's offsets make the layout mmap/pread-friendly.
+// The trailer is fixed-size so a reader finds the footer by seeking from
+// the end; both the footer and every block carry CRC32s, and a block's
+// CRC is only checked when that block is decoded.
+//
+// Heartbeats are deliberately absent: the heartbeat log is a shared
+// run-length structure that is its own compact incremental form, and it
+// is persisted by the CSV save path.
+package segment
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"time"
+
+	"natpeek/internal/dataset"
+)
+
+var (
+	magicHead = []byte("NPS1")
+	magicTail = []byte("1SPN")
+)
+
+const (
+	formatVersion = 1
+	trailerSize   = 4 + 4 + 4
+	// maxBlocks bounds the footer's block count: one per known kind is
+	// all a writer emits, but a reader tolerates (and skips) kinds it
+	// does not know, within reason.
+	maxBlocks = 64
+)
+
+// Block kinds. Values are stable on disk.
+const (
+	blkUptime = iota
+	blkCapacity
+	blkCounts
+	blkSightings
+	blkWiFi
+	blkFlows
+	blkThroughput
+	blkKeys
+)
+
+// Key is one (router, idempotency key) pair applied into a segment's
+// rows. Segments persist them so dedupe state survives restarts.
+type Key struct {
+	Router string
+	Key    string
+}
+
+// SeqRange identifies the contiguous range of flush sequence numbers a
+// segment file covers — a freshly flushed segment covers [n,n]; a
+// compacted one covers the union of its inputs.
+type SeqRange struct {
+	First, Last uint64
+}
+
+// contains reports whether r covers all of o.
+func (r SeqRange) contains(o SeqRange) bool {
+	return r.First <= o.First && o.Last <= r.Last
+}
+
+type blockRef struct {
+	kind uint64
+	off  uint64
+	len  uint64
+	rows uint64
+	crc  uint32
+}
+
+// Meta is everything a store needs to know about a segment without
+// decoding its row blocks.
+type Meta struct {
+	Seq      SeqRange
+	Replaces []SeqRange
+	// MinTime/MaxTime span every row timestamp in the segment (zero
+	// rows excluded); HasTimeRange is false for an all-metadata
+	// segment. Compaction uses the range to find overlapping inputs.
+	HasTimeRange     bool
+	MinTime, MaxTime time.Time
+	Roster           map[string]string
+	Rows             dataset.RowCounts
+	KeyRows          int
+
+	blocks []blockRef
+}
+
+// Encode serializes rows (and the keys they were applied under) as one
+// NPS1 segment covering seq. The store's per-kind slice order is
+// preserved exactly — that invariant is what keeps Merge output, and
+// therefore the verify golden snapshots, byte-identical when the segment
+// store substitutes for the in-memory one.
+func Encode(st *dataset.Store, keys []Key, seq SeqRange, replaces []SeqRange) []byte {
+	out := make([]byte, 0, 4096)
+	out = append(out, magicHead...)
+
+	var blocks []blockRef
+	addBlock := func(kind uint64, rows int, payload []byte) {
+		blocks = append(blocks, blockRef{
+			kind: kind,
+			off:  uint64(len(out)),
+			len:  uint64(len(payload)),
+			rows: uint64(rows),
+			crc:  crc32.ChecksumIEEE(payload),
+		})
+		out = append(out, payload...)
+	}
+
+	addBlock(blkUptime, len(st.Uptime), encodeUptime(st.Uptime))
+	addBlock(blkCapacity, len(st.Capacity), encodeCapacity(st.Capacity))
+	addBlock(blkCounts, len(st.Counts), encodeCounts(st.Counts))
+	addBlock(blkSightings, len(st.Sightings), encodeSightings(st.Sightings))
+	addBlock(blkWiFi, len(st.WiFi), encodeWiFi(st.WiFi))
+	addBlock(blkFlows, len(st.Flows), encodeFlows(st.Flows))
+	addBlock(blkThroughput, len(st.Throughput), encodeThroughput(st.Throughput))
+	addBlock(blkKeys, len(keys), encodeKeys(keys))
+
+	var f enc
+	f.uvarint(formatVersion)
+	f.uvarint(seq.First)
+	f.uvarint(seq.Last)
+	f.uvarint(uint64(len(replaces)))
+	for _, r := range replaces {
+		f.uvarint(r.First)
+		f.uvarint(r.Last)
+	}
+	minT, maxT, ok := timeRange(st)
+	if ok {
+		f.buf = append(f.buf, 1)
+		f.varint(minT.Unix())
+		f.uvarint(uint64(minT.Nanosecond()))
+		f.varint(maxT.Unix())
+		f.uvarint(uint64(maxT.Nanosecond()))
+	} else {
+		f.buf = append(f.buf, 0)
+	}
+	ids := make([]string, 0, len(st.RouterCountry))
+	for id := range st.RouterCountry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	f.uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		f.str(id)
+		f.str(st.RouterCountry[id])
+	}
+	f.uvarint(uint64(len(blocks)))
+	for _, b := range blocks {
+		f.uvarint(b.kind)
+		f.uvarint(b.off)
+		f.uvarint(b.len)
+		f.uvarint(b.rows)
+		f.buf = append(f.buf,
+			byte(b.crc), byte(b.crc>>8), byte(b.crc>>16), byte(b.crc>>24))
+	}
+
+	out = append(out, f.buf...)
+	fl := uint32(len(f.buf))
+	fcrc := crc32.ChecksumIEEE(f.buf)
+	out = append(out,
+		byte(fl), byte(fl>>8), byte(fl>>16), byte(fl>>24),
+		byte(fcrc), byte(fcrc>>8), byte(fcrc>>16), byte(fcrc>>24))
+	out = append(out, magicTail...)
+	return out
+}
+
+// timeRange scans every row timestamp (zero values excluded).
+func timeRange(st *dataset.Store) (minT, maxT time.Time, ok bool) {
+	obs := func(t time.Time) {
+		if t.IsZero() {
+			return
+		}
+		if !ok || t.Before(minT) {
+			minT = t
+		}
+		if !ok || t.After(maxT) {
+			maxT = t
+		}
+		ok = true
+	}
+	for _, r := range st.Uptime {
+		obs(r.ReportedAt)
+	}
+	for _, r := range st.Capacity {
+		obs(r.MeasuredAt)
+	}
+	for _, r := range st.Counts {
+		obs(r.At)
+	}
+	for _, r := range st.Sightings {
+		obs(r.At)
+	}
+	for _, r := range st.WiFi {
+		obs(r.At)
+	}
+	for _, r := range st.Flows {
+		obs(r.First)
+		obs(r.Last)
+	}
+	for _, r := range st.Throughput {
+		obs(r.Minute)
+	}
+	return minT, maxT, ok
+}
+
+// Reader gives access to one encoded segment: the footer is parsed and
+// CRC-checked up front, row blocks decode (and CRC-check) on demand.
+type Reader struct {
+	buf  []byte
+	meta Meta
+}
+
+// NewReader parses and validates the framing and footer of an encoded
+// segment. It does not touch block payloads.
+func NewReader(b []byte) (*Reader, error) {
+	if len(b) < len(magicHead)+trailerSize || string(b[:4]) != string(magicHead) {
+		return nil, fmt.Errorf("%w: bad magic or short file", errCorrupt)
+	}
+	t := b[len(b)-trailerSize:]
+	if string(t[8:12]) != string(magicTail) {
+		return nil, fmt.Errorf("%w: bad trailer magic (torn tail?)", errCorrupt)
+	}
+	flen := uint32(t[0]) | uint32(t[1])<<8 | uint32(t[2])<<16 | uint32(t[3])<<24
+	fcrc := uint32(t[4]) | uint32(t[5])<<8 | uint32(t[6])<<16 | uint32(t[7])<<24
+	body := len(b) - trailerSize
+	if int(flen) > body-len(magicHead) {
+		return nil, fmt.Errorf("%w: footer length %d exceeds file", errCorrupt, flen)
+	}
+	footer := b[body-int(flen) : body]
+	if crc32.ChecksumIEEE(footer) != fcrc {
+		return nil, fmt.Errorf("%w: footer CRC mismatch (torn footer?)", errCorrupt)
+	}
+	r := &Reader{buf: b}
+	if err := r.parseFooter(footer, uint64(body-int(flen))); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *Reader) parseFooter(footer []byte, blockEnd uint64) error {
+	d := &dec{buf: footer}
+	v, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if v != formatVersion {
+		return fmt.Errorf("segment: unsupported format version %d", v)
+	}
+	m := &r.meta
+	if m.Seq.First, err = d.uvarint(); err != nil {
+		return err
+	}
+	if m.Seq.Last, err = d.uvarint(); err != nil {
+		return err
+	}
+	if m.Seq.Last < m.Seq.First {
+		return fmt.Errorf("%w: inverted seq range", errCorrupt)
+	}
+	nr, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if nr > uint64(d.remaining()) {
+		return fmt.Errorf("%w: replaces count %d", errCorrupt, nr)
+	}
+	for i := uint64(0); i < nr; i++ {
+		var sr SeqRange
+		if sr.First, err = d.uvarint(); err != nil {
+			return err
+		}
+		if sr.Last, err = d.uvarint(); err != nil {
+			return err
+		}
+		m.Replaces = append(m.Replaces, sr)
+	}
+	hasRange, err := d.take(1)
+	if err != nil {
+		return err
+	}
+	if hasRange[0] > 1 {
+		return fmt.Errorf("%w: bad time-range flag", errCorrupt)
+	}
+	if hasRange[0] == 1 {
+		m.HasTimeRange = true
+		ts, err := decodeFooterTime(d)
+		if err != nil {
+			return err
+		}
+		m.MinTime = ts
+		if ts, err = decodeFooterTime(d); err != nil {
+			return err
+		}
+		m.MaxTime = ts
+	}
+	nRoster, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if nRoster > uint64(d.remaining()) {
+		return fmt.Errorf("%w: roster count %d", errCorrupt, nRoster)
+	}
+	m.Roster = make(map[string]string, nRoster)
+	for i := uint64(0); i < nRoster; i++ {
+		id, err := d.str()
+		if err != nil {
+			return err
+		}
+		cc, err := d.str()
+		if err != nil {
+			return err
+		}
+		m.Roster[id] = cc
+	}
+	nb, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if nb > maxBlocks {
+		return fmt.Errorf("%w: %d blocks", errCorrupt, nb)
+	}
+	for i := uint64(0); i < nb; i++ {
+		var b blockRef
+		if b.kind, err = d.uvarint(); err != nil {
+			return err
+		}
+		if b.off, err = d.uvarint(); err != nil {
+			return err
+		}
+		if b.len, err = d.uvarint(); err != nil {
+			return err
+		}
+		if b.rows, err = d.uvarint(); err != nil {
+			return err
+		}
+		cb, err := d.take(4)
+		if err != nil {
+			return err
+		}
+		b.crc = uint32(cb[0]) | uint32(cb[1])<<8 | uint32(cb[2])<<16 | uint32(cb[3])<<24
+		if b.off < uint64(len(magicHead)) || b.off+b.len < b.off || b.off+b.len > blockEnd {
+			return fmt.Errorf("%w: block %d spans [%d,%d) outside payload", errCorrupt, b.kind, b.off, b.off+b.len)
+		}
+		// Each row consumes at least one byte in its first column, so a
+		// rows count beyond the payload size is forged.
+		if b.rows > b.len && b.rows > 0 {
+			return fmt.Errorf("%w: block %d claims %d rows in %d bytes", errCorrupt, b.kind, b.rows, b.len)
+		}
+		m.blocks = append(m.blocks, b)
+		switch b.kind {
+		case blkUptime:
+			m.Rows.Uptime = int(b.rows)
+		case blkCapacity:
+			m.Rows.Capacity = int(b.rows)
+		case blkCounts:
+			m.Rows.Counts = int(b.rows)
+		case blkSightings:
+			m.Rows.Sightings = int(b.rows)
+		case blkWiFi:
+			m.Rows.WiFi = int(b.rows)
+		case blkFlows:
+			m.Rows.Flows = int(b.rows)
+		case blkThroughput:
+			m.Rows.Throughput = int(b.rows)
+		case blkKeys:
+			m.KeyRows = int(b.rows)
+		}
+	}
+	m.Rows.Routers = len(m.Roster)
+	return nil
+}
+
+func decodeFooterTime(d *dec) (time.Time, error) {
+	sec, err := d.varint()
+	if err != nil {
+		return time.Time{}, err
+	}
+	nsec, err := d.uvarint()
+	if err != nil {
+		return time.Time{}, err
+	}
+	if nsec >= uint64(time.Second) {
+		return time.Time{}, fmt.Errorf("%w: footer time nanoseconds", errCorrupt)
+	}
+	return time.Unix(sec, int64(nsec)).UTC(), nil
+}
+
+// Meta returns the parsed footer metadata.
+func (r *Reader) Meta() Meta { return r.meta }
+
+// block returns the CRC-validated payload decoder for kind, or nil if
+// the segment has no such block.
+func (r *Reader) block(kind uint64) (*dec, int, error) {
+	for _, b := range r.meta.blocks {
+		if b.kind != kind {
+			continue
+		}
+		payload := r.buf[b.off : b.off+b.len]
+		if crc32.ChecksumIEEE(payload) != b.crc {
+			return nil, 0, fmt.Errorf("%w: block %d CRC mismatch", errCorrupt, kind)
+		}
+		return &dec{buf: payload}, int(b.rows), nil
+	}
+	return nil, 0, nil
+}
+
+// Keys decodes the idempotency-key block.
+func (r *Reader) Keys() ([]Key, error) {
+	d, n, err := r.block(blkKeys)
+	if err != nil || d == nil {
+		return nil, err
+	}
+	return decodeKeys(d, n)
+}
+
+// Rows decodes every data-set block into a plain Store (arrival order
+// preserved). The returned store has no heartbeat log and an empty
+// dedupe index — segments carry neither.
+func (r *Reader) Rows() (*dataset.Store, error) {
+	st := &dataset.Store{RouterCountry: make(map[string]string, len(r.meta.Roster))}
+	for id, cc := range r.meta.Roster {
+		st.RouterCountry[id] = cc
+	}
+	var err error
+	if st.Uptime, err = r.uptime(); err != nil {
+		return nil, err
+	}
+	if st.Capacity, err = r.capacity(); err != nil {
+		return nil, err
+	}
+	if st.Counts, err = r.counts(); err != nil {
+		return nil, err
+	}
+	if st.Sightings, err = r.sightings(); err != nil {
+		return nil, err
+	}
+	if st.WiFi, err = r.wifi(); err != nil {
+		return nil, err
+	}
+	if st.Flows, err = r.flows(); err != nil {
+		return nil, err
+	}
+	if st.Throughput, err = r.throughput(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Decode is the one-shot convenience: parse, validate, and decode
+// everything (the fuzz target's entry point).
+func Decode(b []byte) (*dataset.Store, []Key, Meta, error) {
+	r, err := NewReader(b)
+	if err != nil {
+		return nil, nil, Meta{}, err
+	}
+	st, err := r.Rows()
+	if err != nil {
+		return nil, nil, Meta{}, err
+	}
+	keys, err := r.Keys()
+	if err != nil {
+		return nil, nil, Meta{}, err
+	}
+	return st, keys, r.meta, nil
+}

@@ -1,0 +1,877 @@
+// The segment store: a bounded in-memory memtable (a dataset.Sharded
+// generation) in front of immutable on-disk NPS1 segments.
+//
+// Lifecycle:
+//
+//   - Ingest lands in the live memtable exactly as it would in the plain
+//     sharded store — same striping, same dedupe, same arrival-order
+//     segment log.
+//   - When the memtable exceeds FlushRows rows (or FlushAge), it is
+//     sealed: a fresh memtable that has adopted the old one's dedupe
+//     index is swapped in under a write lock, the sealed generation is
+//     merged (no writers remain), encoded as one NPS1 segment — rows
+//     plus the idempotency keys they were applied under — and committed
+//     with write-tmp → fsync → rename. Only after the rename is the
+//     sealed generation dropped from the in-memory view, so readers
+//     never see a gap, and seal subscribers receive the sealed rows as
+//     an immutable chunk.
+//   - Background compaction folds runs of seq-adjacent segments with
+//     overlapping time ranges into one, recording the replaced seq
+//     ranges in the new footer; a crash between the rename and the
+//     input deletion is healed at open time by the supersession check.
+//
+// Exactly-once across the flush boundary: the successor memtable adopts
+// the sealed one's dedupe index before any new row lands (replays racing
+// the flush stay deduped), and the sealed keys travel inside the segment
+// file, so a restart re-seeds the dedupe index from disk, oldest segment
+// first — the same FIFO window a long-running sharded store would hold.
+//
+// Ordering: Merge() concatenates segment rows in flush (seq) order, then
+// the sealed-but-uncommitted generation, then the live memtable. Each
+// generation preserves its own arrival order, and every row in an older
+// generation arrived before every row in a newer one, so for a serial
+// upload sequence the merged per-kind slices are identical to a plain
+// Sharded store's — which is what keeps the verify golden snapshots
+// byte-identical with this store substituted (rows racing a rotation are
+// concurrent with it, so either side of the boundary is a valid order,
+// exactly like rows racing each other in the plain store).
+package segment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"natpeek/internal/dataset"
+	"natpeek/internal/heartbeat"
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the segment directory. Required.
+	Dir string
+	// FlushRows seals the memtable when it holds at least this many
+	// rows. <= 0 means DefaultFlushRows.
+	FlushRows int
+	// FlushAge seals a non-empty memtable this long after its first
+	// row, even below FlushRows, so quiet deployments still reach disk.
+	// 0 disables age-based flushing.
+	FlushAge time.Duration
+	// CompactAt triggers compaction when more than this many live
+	// segments exist. <= 0 means DefaultCompactAt; < 0 after defaulting
+	// is impossible, use NoCompaction to disable.
+	CompactAt int
+	// NoCompaction disables background compaction (crash-window tests
+	// pin specific segment layouts).
+	NoCompaction bool
+	// Shards is the memtable stripe count (<= 0: dataset.DefaultShards).
+	Shards int
+}
+
+// Defaults for Options.
+const (
+	DefaultFlushRows = 1 << 16
+	DefaultCompactAt = 8
+	// maxCompactInputs bounds one compaction's fan-in so a single run
+	// never rewrites the whole history.
+	maxCompactInputs = 8
+)
+
+// memtable is one hot generation: a sharded store plus the (router,
+// idempotency key) pairs applied into it, in arrival order.
+type memtable struct {
+	sh   *dataset.Sharded
+	rows atomic.Int64
+
+	keyMu sync.Mutex
+	keys  []Key
+
+	// born is when the first row landed (atomically published once),
+	// for FlushAge.
+	born atomic.Int64
+}
+
+func newMemtable(shards int) *memtable {
+	return &memtable{sh: dataset.NewSharded(shards)}
+}
+
+func (m *memtable) addKey(router, key string) {
+	m.keyMu.Lock()
+	m.keys = append(m.keys, Key{Router: router, Key: key})
+	m.keyMu.Unlock()
+}
+
+func (m *memtable) noteRows(n int) {
+	if n <= 0 {
+		return
+	}
+	if m.rows.Add(int64(n)) == int64(n) {
+		m.born.CompareAndSwap(0, time.Now().UnixNano())
+	}
+}
+
+// segFile is one committed on-disk segment.
+type segFile struct {
+	path string
+	meta Meta
+}
+
+// Store is the segment-backed implementation of dataset.IngestStore.
+type Store struct {
+	opt Options
+	hb  *heartbeat.Log
+
+	// rot guards the live memtable pointer: appliers hold it shared,
+	// rotation holds it exclusively.
+	rot sync.RWMutex
+	mem *memtable
+
+	// flushMu serializes seal/flush/compact/subscribe.
+	flushMu sync.Mutex
+
+	// segMu guards segs, frozen, roster, and the seal-subscriber list.
+	segMu  sync.RWMutex
+	segs   []segFile
+	frozen *memtable // sealed, not yet durable; nil otherwise
+	roster map[string]string
+	onSeal []func(*dataset.Store)
+
+	nextSeq uint64
+
+	stopc  chan struct{}
+	bgDone sync.WaitGroup
+	kick   chan struct{}
+
+	flushErr atomic.Value // error string of the last failed flush, for ops
+}
+
+// Open loads (or creates) a segment store in opt.Dir: stray .tmp files
+// from interrupted commits are removed, a torn tail segment (bad magic,
+// short file, footer CRC mismatch) is quarantined to <name>.corrupt,
+// segments fully covered by a compacted successor are deleted, and the
+// dedupe index is re-seeded from every surviving segment's key block,
+// oldest first.
+func Open(opt Options) (*Store, error) {
+	if opt.Dir == "" {
+		return nil, fmt.Errorf("segment: Options.Dir required")
+	}
+	if opt.FlushRows <= 0 {
+		opt.FlushRows = DefaultFlushRows
+	}
+	if opt.CompactAt <= 0 {
+		opt.CompactAt = DefaultCompactAt
+	}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("segment: %w", err)
+	}
+	s := &Store{
+		opt:    opt,
+		hb:     heartbeat.NewLog(),
+		mem:    newMemtable(opt.Shards),
+		roster: make(map[string]string),
+		stopc:  make(chan struct{}),
+		kick:   make(chan struct{}, 1),
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	s.bgDone.Add(1)
+	go s.background()
+	return s, nil
+}
+
+// load scans the directory, validates every segment, heals crash
+// leftovers, and seeds the memtable dedupe index.
+func (s *Store) load() error {
+	ents, err := os.ReadDir(s.opt.Dir)
+	if err != nil {
+		return fmt.Errorf("segment: %w", err)
+	}
+	var files []segFile
+	for _, ent := range ents {
+		name := ent.Name()
+		path := filepath.Join(s.opt.Dir, name)
+		if strings.HasSuffix(name, ".tmp") {
+			// An interrupted commit: the rename never happened, so the
+			// segment was never live. Its rows are still in the
+			// upstream spool's redelivery window.
+			os.Remove(path)
+			continue
+		}
+		if !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("segment: %w", err)
+		}
+		r, err := NewReader(b)
+		if err != nil {
+			// Torn or corrupt segment. Quarantine rather than delete:
+			// the bytes stay for forensics, but the store no longer
+			// loads them. Rows it held re-arrive via upstream
+			// redelivery and dedupe cleanly (their keys died with it).
+			if qerr := os.Rename(path, path+".corrupt"); qerr != nil {
+				return fmt.Errorf("segment: quarantine %s: %w", name, qerr)
+			}
+			continue
+		}
+		files = append(files, segFile{path: path, meta: r.Meta()})
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].meta.Seq.First != files[j].meta.Seq.First {
+			return files[i].meta.Seq.First < files[j].meta.Seq.First
+		}
+		// A compacted segment orders after the inputs it covers.
+		return files[i].meta.Seq.Last > files[j].meta.Seq.Last
+	})
+	// Supersession: a crash between a compaction's rename and its input
+	// deletion leaves both the compacted segment and its inputs on
+	// disk. The compacted footer records what it replaces; drop (and
+	// delete) any segment fully covered by another's seq range.
+	live := files[:0]
+	for _, f := range files {
+		covered := false
+		for _, g := range files {
+			if g.path != f.path && g.meta.Seq.contains(f.meta.Seq) {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			os.Remove(f.path)
+			continue
+		}
+		live = append(live, f)
+	}
+	s.segs = append([]segFile(nil), live...)
+	for _, f := range s.segs {
+		if f.meta.Seq.Last >= s.nextSeq {
+			s.nextSeq = f.meta.Seq.Last + 1
+		}
+		for id, cc := range f.meta.Roster {
+			s.roster[id] = cc
+		}
+	}
+	// Re-seed dedupe from every surviving segment, oldest first, so the
+	// FIFO eviction window matches a store that never restarted.
+	for _, f := range s.segs {
+		keys, err := s.readKeys(f)
+		if err != nil {
+			return err
+		}
+		for _, k := range keys {
+			s.mem.sh.Apply(k.Router, k.Key, func(*dataset.Store) {})
+		}
+	}
+	return nil
+}
+
+func (s *Store) readKeys(f segFile) ([]Key, error) {
+	b, err := os.ReadFile(f.path)
+	if err != nil {
+		return nil, fmt.Errorf("segment: %w", err)
+	}
+	r, err := NewReader(b)
+	if err != nil {
+		return nil, fmt.Errorf("segment: reread %s: %w", f.path, err)
+	}
+	return r.Keys()
+}
+
+// Close stops background work and flushes the memtable so every
+// ingested row is durable.
+func (s *Store) Close() error {
+	s.flushMu.Lock()
+	select {
+	case <-s.stopc:
+		s.flushMu.Unlock()
+		return nil
+	default:
+	}
+	close(s.stopc)
+	s.flushMu.Unlock()
+	s.bgDone.Wait()
+	return s.Flush()
+}
+
+// background runs size-triggered flushes off the ingest path plus the
+// age ticker and compaction.
+func (s *Store) background() {
+	defer s.bgDone.Done()
+	tick := time.NewTicker(s.ageTick())
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case <-s.kick:
+			s.Flush()
+		case <-tick.C:
+			if s.opt.FlushAge <= 0 {
+				continue
+			}
+			s.rot.RLock()
+			born := s.mem.born.Load()
+			s.rot.RUnlock()
+			if born != 0 && time.Since(time.Unix(0, born)) >= s.opt.FlushAge {
+				s.Flush()
+			}
+		}
+	}
+}
+
+func (s *Store) ageTick() time.Duration {
+	if s.opt.FlushAge > 0 {
+		if t := s.opt.FlushAge / 4; t > 0 {
+			return t
+		}
+	}
+	return time.Second
+}
+
+// rowsOf is the per-apply row accounting used to size the memtable.
+func rowsOf(st *dataset.Store) int {
+	return len(st.Uptime) + len(st.Capacity) + len(st.Counts) + len(st.Sightings) +
+		len(st.WiFi) + len(st.Flows) + len(st.Throughput)
+}
+
+// Apply implements dataset.IngestStore: exactly-once ingest into the
+// live memtable, with the applied key tracked for the next flush's key
+// block.
+func (s *Store) Apply(router, key string, apply func(*dataset.Store)) bool {
+	s.rot.RLock()
+	m := s.mem
+	grown := 0
+	ok := m.sh.Apply(router, key, func(st *dataset.Store) {
+		before := rowsOf(st)
+		apply(st)
+		grown = rowsOf(st) - before
+	})
+	if ok {
+		if key != "" {
+			m.addKey(router, key)
+		}
+		m.noteRows(grown)
+	}
+	s.rot.RUnlock()
+	s.maybeKick(m)
+	return ok
+}
+
+// Append implements dataset.IngestStore (no dedupe, no key tracking).
+func (s *Store) Append(router string, apply func(*dataset.Store)) {
+	s.rot.RLock()
+	m := s.mem
+	grown := 0
+	m.sh.Append(router, func(st *dataset.Store) {
+		before := rowsOf(st)
+		apply(st)
+		grown = rowsOf(st) - before
+	})
+	m.noteRows(grown)
+	s.rot.RUnlock()
+	s.maybeKick(m)
+}
+
+func (s *Store) maybeKick(m *memtable) {
+	if int(m.rows.Load()) < s.opt.FlushRows {
+		return
+	}
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Flush seals the live memtable (if it holds any rows) and commits it
+// as one segment. Safe to call concurrently; flushes serialize.
+func (s *Store) Flush() error {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	// A generation frozen by an earlier flush whose commit failed must
+	// reach disk before anything newer seals — rotating again would
+	// need a second frozen slot, and segment order must match arrival
+	// order anyway.
+	if err := s.commitFrozen(); err != nil {
+		s.flushErr.Store(err.Error())
+		return err
+	}
+
+	// Swap in a successor that already rejects everything the sealed
+	// generation applied. The write lock excludes appliers, so no row
+	// or key lands in the sealed generation after this point and no
+	// replay slips into the successor before the adoption.
+	s.rot.Lock()
+	old := s.mem
+	old.keyMu.Lock()
+	nkeys := len(old.keys)
+	old.keyMu.Unlock()
+	if old.rows.Load() == 0 && nkeys == 0 && len(old.sh.Roster()) == 0 {
+		s.rot.Unlock()
+		return nil
+	}
+	fresh := newMemtable(s.opt.Shards)
+	fresh.sh.AdoptDedupe(old.sh)
+	s.mem = fresh
+	s.segMu.Lock()
+	s.frozen = old
+	s.segMu.Unlock()
+	s.rot.Unlock()
+
+	if err := s.commitFrozen(); err != nil {
+		// The sealed generation stays in the frozen slot: still
+		// queryable, still deduped (the successor adopted its keys),
+		// retried on the next flush trigger.
+		s.flushErr.Store(err.Error())
+		return err
+	}
+
+	if !s.opt.NoCompaction {
+		if err := s.compactLocked(); err != nil {
+			s.flushErr.Store(err.Error())
+		}
+	}
+	return nil
+}
+
+// commitFrozen persists the frozen generation (if any) as one segment
+// and publishes it. Caller holds flushMu.
+func (s *Store) commitFrozen() error {
+	s.segMu.RLock()
+	old := s.frozen
+	s.segMu.RUnlock()
+	if old == nil {
+		return nil
+	}
+	snap := old.sh.Merge()
+	seq := SeqRange{First: s.nextSeq, Last: s.nextSeq}
+	b := Encode(snap, old.keys, seq, nil)
+	path := filepath.Join(s.opt.Dir, segName(seq))
+	if err := writeAtomic(path, b); err != nil {
+		return err
+	}
+
+	s.segMu.Lock()
+	s.segs = append(s.segs, segFile{path: path, meta: metaOf(snap, seq, nil, len(old.keys))})
+	for id, cc := range snap.RouterCountry {
+		s.roster[id] = cc
+	}
+	s.frozen = nil
+	subs := make([]func(*dataset.Store), len(s.onSeal))
+	copy(subs, s.onSeal)
+	s.segMu.Unlock()
+	s.nextSeq++
+
+	for _, fn := range subs {
+		fn(snap)
+	}
+	return nil
+}
+
+// metaOf builds the in-memory Meta for a just-encoded snapshot without
+// re-parsing the file.
+func metaOf(snap *dataset.Store, seq SeqRange, replaces []SeqRange, keyRows int) Meta {
+	m := Meta{Seq: seq, Replaces: replaces, KeyRows: keyRows}
+	m.MinTime, m.MaxTime, m.HasTimeRange = timeRange(snap)
+	m.Roster = make(map[string]string, len(snap.RouterCountry))
+	for id, cc := range snap.RouterCountry {
+		m.Roster[id] = cc
+	}
+	m.Rows = dataset.RowCounts{
+		Routers:    len(snap.RouterCountry),
+		Uptime:     len(snap.Uptime),
+		Capacity:   len(snap.Capacity),
+		Counts:     len(snap.Counts),
+		Sightings:  len(snap.Sightings),
+		WiFi:       len(snap.WiFi),
+		Flows:      len(snap.Flows),
+		Throughput: len(snap.Throughput),
+	}
+	return m
+}
+
+func segName(seq SeqRange) string {
+	return fmt.Sprintf("%016x-%016x.seg", seq.First, seq.Last)
+}
+
+// writeAtomic commits bytes with the tmp → fsync → rename discipline;
+// the directory is synced after the rename so the new name survives a
+// crash.
+func writeAtomic(path string, b []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("segment: %w", err)
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("segment: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("segment: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("segment: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("segment: %w", err)
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// compactLocked folds the oldest run of seq-adjacent segments whose
+// time ranges overlap into one segment when the live count exceeds
+// CompactAt. Only adjacent-in-seq runs are eligible — compaction must
+// not reorder rows — and the output records the replaced seq ranges so
+// a crash between its rename and the input deletion heals at open.
+func (s *Store) compactLocked() error {
+	s.segMu.RLock()
+	segs := append([]segFile(nil), s.segs...)
+	s.segMu.RUnlock()
+	if len(segs) <= s.opt.CompactAt {
+		return nil
+	}
+	run := pickCompactRun(segs, maxCompactInputs)
+	if len(run) < 2 {
+		return nil
+	}
+
+	merged := &dataset.Store{RouterCountry: make(map[string]string)}
+	var keys []Key
+	var replaces []SeqRange
+	for _, f := range run {
+		b, err := os.ReadFile(f.path)
+		if err != nil {
+			return fmt.Errorf("segment: compact: %w", err)
+		}
+		st, ks, _, err := Decode(b)
+		if err != nil {
+			return fmt.Errorf("segment: compact %s: %w", f.path, err)
+		}
+		merged.Uptime = append(merged.Uptime, st.Uptime...)
+		merged.Capacity = append(merged.Capacity, st.Capacity...)
+		merged.Counts = append(merged.Counts, st.Counts...)
+		merged.Sightings = append(merged.Sightings, st.Sightings...)
+		merged.WiFi = append(merged.WiFi, st.WiFi...)
+		merged.Flows = append(merged.Flows, st.Flows...)
+		merged.Throughput = append(merged.Throughput, st.Throughput...)
+		for id, cc := range st.RouterCountry {
+			merged.RouterCountry[id] = cc
+		}
+		keys = append(keys, ks...)
+		replaces = append(replaces, f.meta.Seq)
+	}
+	seq := SeqRange{First: run[0].meta.Seq.First, Last: run[len(run)-1].meta.Seq.Last}
+	b := Encode(merged, keys, seq, replaces)
+	path := filepath.Join(s.opt.Dir, segName(seq))
+	if err := writeAtomic(path, b); err != nil {
+		return err
+	}
+
+	// Commit point passed: swap the metas, then delete the inputs
+	// (best-effort — open-time supersession covers a crash here).
+	out := segFile{path: path, meta: metaOf(merged, seq, replaces, len(keys))}
+	s.segMu.Lock()
+	var next []segFile
+	inserted := false
+	for _, f := range s.segs {
+		if inRun(run, f.path) {
+			if !inserted {
+				next = append(next, out)
+				inserted = true
+			}
+			continue
+		}
+		next = append(next, f)
+	}
+	s.segs = next
+	s.segMu.Unlock()
+	for _, f := range run {
+		os.Remove(f.path)
+	}
+	return nil
+}
+
+func inRun(run []segFile, path string) bool {
+	for _, f := range run {
+		if f.path == path {
+			return true
+		}
+	}
+	return false
+}
+
+// pickCompactRun extends a run from the oldest segment while the next
+// segment's time range overlaps the union so far (capped at maxIn).
+// Segments with disjoint time ranges are already well-partitioned and
+// stay separate; the scan advances past them looking for the first
+// overlapping adjacent pair.
+func pickCompactRun(segs []segFile, maxIn int) []segFile {
+	for start := 0; start < len(segs)-1; start++ {
+		a := segs[start]
+		if !a.meta.HasTimeRange {
+			// Metadata-only segments merge with anything adjacent.
+			return segs[start : start+2]
+		}
+		lo, hi := a.meta.MinTime, a.meta.MaxTime
+		run := []segFile{a}
+		for _, f := range segs[start+1:] {
+			if len(run) >= maxIn {
+				break
+			}
+			if f.meta.HasTimeRange && (f.meta.MaxTime.Before(lo) || f.meta.MinTime.After(hi)) {
+				break // disjoint: the run ends here
+			}
+			if f.meta.HasTimeRange {
+				if f.meta.MinTime.Before(lo) {
+					lo = f.meta.MinTime
+				}
+				if f.meta.MaxTime.After(hi) {
+					hi = f.meta.MaxTime
+				}
+			}
+			run = append(run, f)
+		}
+		if len(run) >= 2 {
+			return run
+		}
+	}
+	return nil
+}
+
+// Compact runs one compaction pass regardless of thresholds (tests and
+// ops tooling).
+func (s *Store) Compact() error {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	return s.compactLocked()
+}
+
+// Merge implements dataset.IngestStore: the batch view. Sealed segments
+// decode from disk in seq order, then the sealed-but-uncommitted
+// generation (if a flush is mid-commit), then the live memtable.
+//
+// A compaction can delete a segment file between this function's
+// snapshot of the list and the read; that attempt restarts with a fresh
+// snapshot, and after a few restarts it runs under flushMu, which
+// excludes compaction entirely.
+func (s *Store) Merge() *dataset.Store {
+	for i := 0; i < 3; i++ {
+		if out, ok := s.mergeOnce(true); ok {
+			return out
+		}
+	}
+	// Authoritative pass: no compaction can race now. A segment that
+	// still fails to read here is corrupt on disk; skipping it beats
+	// returning nothing (upstream redelivery + dedupe recover its rows
+	// on the next restart, when Open quarantines it).
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	out, _ := s.mergeOnce(false)
+	return out
+}
+
+func (s *Store) mergeOnce(strict bool) (*dataset.Store, bool) {
+	out := &dataset.Store{
+		Heartbeats:    s.hb,
+		RouterCountry: make(map[string]string),
+	}
+	s.rot.RLock()
+	mem := s.mem
+	s.segMu.RLock()
+	segs := append([]segFile(nil), s.segs...)
+	frozen := s.frozen
+	s.segMu.RUnlock()
+	s.rot.RUnlock()
+
+	for _, f := range segs {
+		st, err := readRows(f.path)
+		if err != nil {
+			if strict {
+				return nil, false
+			}
+			s.flushErr.Store(err.Error())
+			continue
+		}
+		appendStore(out, st)
+	}
+	if frozen != nil {
+		appendStore(out, frozen.sh.Merge())
+	}
+	appendStore(out, mem.sh.Merge())
+	return out, true
+}
+
+func readRows(path string) (*dataset.Store, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("segment: %w", err)
+	}
+	r, err := NewReader(b)
+	if err != nil {
+		return nil, fmt.Errorf("segment: %s: %w", filepath.Base(path), err)
+	}
+	return r.Rows()
+}
+
+func appendStore(dst, src *dataset.Store) {
+	dst.Uptime = append(dst.Uptime, src.Uptime...)
+	dst.Capacity = append(dst.Capacity, src.Capacity...)
+	dst.Counts = append(dst.Counts, src.Counts...)
+	dst.Sightings = append(dst.Sightings, src.Sightings...)
+	dst.WiFi = append(dst.WiFi, src.WiFi...)
+	dst.Flows = append(dst.Flows, src.Flows...)
+	dst.Throughput = append(dst.Throughput, src.Throughput...)
+	for id, cc := range src.RouterCountry {
+		dst.RouterCountry[id] = cc
+	}
+}
+
+// Tail returns the rows not yet covered by a sealed segment (the
+// sealed-but-uncommitted generation plus the live memtable), sharing
+// the heartbeat log. The incremental dashboard folds sealed chunks once
+// and recomputes only this tail per render.
+func (s *Store) Tail() *dataset.Store {
+	out := &dataset.Store{
+		Heartbeats:    s.hb,
+		RouterCountry: make(map[string]string),
+	}
+	s.rot.RLock()
+	mem := s.mem
+	s.segMu.RLock()
+	frozen := s.frozen
+	s.segMu.RUnlock()
+	s.rot.RUnlock()
+	if frozen != nil {
+		appendStore(out, frozen.sh.Merge())
+	}
+	appendStore(out, mem.sh.Merge())
+	return out
+}
+
+// Subscribe registers fn to receive every sealed segment's rows as an
+// immutable chunk: first each existing on-disk segment (decoded, in seq
+// order), then every future seal, with no gap and no duplicate. fn runs
+// on the flushing goroutine and must not call back into the store; the
+// chunk is never touched by the store again, so fn may retain it but
+// must not mutate it (other subscribers see the same chunk).
+func (s *Store) Subscribe(fn func(chunk *dataset.Store)) error {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	s.segMu.RLock()
+	segs := append([]segFile(nil), s.segs...)
+	s.segMu.RUnlock()
+	for _, f := range segs {
+		st, err := readRows(f.path)
+		if err != nil {
+			return fmt.Errorf("segment: replay: %w", err)
+		}
+		fn(st)
+	}
+	s.segMu.Lock()
+	s.onSeal = append(s.onSeal, fn)
+	s.segMu.Unlock()
+	return nil
+}
+
+// RowCounts implements dataset.IngestStore without decoding anything:
+// cached per-segment footer counts plus the in-memory generations.
+func (s *Store) RowCounts() dataset.RowCounts {
+	var rc dataset.RowCounts
+	s.rot.RLock()
+	mem := s.mem
+	s.segMu.RLock()
+	segs := append([]segFile(nil), s.segs...)
+	frozen := s.frozen
+	roster := make(map[string]struct{}, len(s.roster))
+	for id := range s.roster {
+		roster[id] = struct{}{}
+	}
+	s.segMu.RUnlock()
+	s.rot.RUnlock()
+
+	add := func(o dataset.RowCounts) {
+		rc.Uptime += o.Uptime
+		rc.Capacity += o.Capacity
+		rc.Counts += o.Counts
+		rc.Sightings += o.Sightings
+		rc.WiFi += o.WiFi
+		rc.Flows += o.Flows
+		rc.Throughput += o.Throughput
+	}
+	for _, f := range segs {
+		add(f.meta.Rows)
+	}
+	if frozen != nil {
+		add(frozen.sh.RowCounts())
+		for id := range frozen.sh.Roster() {
+			roster[id] = struct{}{}
+		}
+	}
+	add(mem.sh.RowCounts())
+	for id := range mem.sh.Roster() {
+		roster[id] = struct{}{}
+	}
+	rc.Routers = len(roster)
+	return rc
+}
+
+// DedupeLen implements dataset.IngestStore. The live memtable's index
+// is the full window: it adopted every predecessor's keys at rotation
+// (and at Open, from disk).
+func (s *Store) DedupeLen() int {
+	s.rot.RLock()
+	defer s.rot.RUnlock()
+	return s.mem.sh.DedupeLen()
+}
+
+// HeartbeatLog implements dataset.IngestStore. Heartbeats live outside
+// the segment files (see the package comment in format.go).
+func (s *Store) HeartbeatLog() *heartbeat.Log { return s.hb }
+
+// Save implements dataset.IngestStore: the standard CSV layout of the
+// full merged view. This is the cold batch path — incremental consumers
+// use Subscribe/Tail.
+func (s *Store) Save(dir string) error { return s.Merge().Save(dir) }
+
+// Segments returns the live segment metadata in seq order (ops and
+// tests).
+func (s *Store) Segments() []Meta {
+	s.segMu.RLock()
+	defer s.segMu.RUnlock()
+	out := make([]Meta, len(s.segs))
+	for i, f := range s.segs {
+		out[i] = f.meta
+	}
+	return out
+}
+
+// LastFlushError reports the most recent background flush/compaction
+// failure ("" when healthy).
+func (s *Store) LastFlushError() string {
+	if v := s.flushErr.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+var _ dataset.IngestStore = (*Store)(nil)

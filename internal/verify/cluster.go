@@ -3,12 +3,14 @@ package verify
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"natpeek/internal/cluster"
 	"natpeek/internal/collector"
 	"natpeek/internal/dataset"
 	"natpeek/internal/gateway"
+	"natpeek/internal/segment"
 	"natpeek/internal/spool"
 	"natpeek/internal/world"
 )
@@ -36,17 +38,31 @@ func RunCluster(cfg Config, n int) (*Result, error) {
 	}
 	var nodes []*cluster.Node
 	var peers []string
+	var segStores []*segment.Store
 	defer func() {
 		for _, nd := range nodes {
 			nd.Close()
 		}
+		for _, s := range segStores {
+			s.Close()
+		}
 	}()
 	for i := 0; i < n; i++ {
-		nd, err := cluster.NewNode(cluster.NodeConfig{
+		ncfg := cluster.NodeConfig{
 			ID:      fmt.Sprintf("verify-node-%d", i),
 			UDPAddr: "127.0.0.1:0", HTTPAddr: "127.0.0.1:0", CtrlAddr: "127.0.0.1:0",
 			Peers: append([]string(nil), peers...), Gossip: gossip,
-		})
+		}
+		if cfg.SegmentDir != "" {
+			// Each node persists its shard to its own segment directory.
+			store, seg, err := openVerifyStore(cfg, filepath.Join(cfg.SegmentDir, ncfg.ID))
+			if err != nil {
+				return nil, err
+			}
+			segStores = append(segStores, seg)
+			ncfg.Store = store
+		}
+		nd, err := cluster.NewNode(ncfg)
 		if err != nil {
 			return nil, fmt.Errorf("verify: cluster node %d: %w", i, err)
 		}

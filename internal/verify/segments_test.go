@@ -1,0 +1,74 @@
+package verify
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenSeed1 loads the canonical single-node golden snapshot.
+func goldenSeed1(t *testing.T) []byte {
+	t.Helper()
+	want, err := os.ReadFile(filepath.Join("testdata", "golden", "run-seed1.json"))
+	if err != nil {
+		t.Fatalf("no golden snapshot (generate with TestGoldenRun -update): %v", err)
+	}
+	return want
+}
+
+// TestGoldenSegmentBacked is the storage engine's substitution
+// contract: the same deployment ingested into the columnar segment
+// store — rotating through many sealed segments mid-run, then REOPENED
+// from the segment files alone — must produce a snapshot byte-identical
+// to the in-memory golden. Storage, like the wire format, must be
+// invisible in the data.
+func TestGoldenSegmentBacked(t *testing.T) {
+	r, err := Run(Config{Seed: 1, SegmentDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("verify.Run(segments): %v", err)
+	}
+	if fails := CheckAll(r, nil); len(fails) > 0 {
+		for _, f := range fails {
+			t.Errorf("invariant %s", f)
+		}
+	}
+	got := BuildSnapshot(r).Encode()
+	if want := goldenSeed1(t); !bytes.Equal(got, want) {
+		t.Errorf("segment-backed snapshot differs from golden:\n%s", snapshotDiff(want, got))
+	}
+}
+
+// TestGoldenSegmentBackedJSON re-runs the substitution with the legacy
+// JSON wire encoding — both axes (wire format, storage engine) swapped
+// at once, still byte-identical.
+func TestGoldenSegmentBackedJSON(t *testing.T) {
+	r, err := Run(Config{Seed: 1, ForceJSON: true, SegmentDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("verify.Run(segments,json): %v", err)
+	}
+	got := BuildSnapshot(r).Encode()
+	if want := goldenSeed1(t); !bytes.Equal(got, want) {
+		t.Errorf("segment-backed JSON snapshot differs from golden:\n%s", snapshotDiff(want, got))
+	}
+}
+
+// TestClusterGoldenSegmentBacked runs the 3-node cluster with every
+// node's shard persisted to its own segment directory; the merged
+// snapshot must still match the single-node in-memory golden.
+func TestClusterGoldenSegmentBacked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster run in -short mode")
+	}
+	r, err := RunCluster(Config{Seed: 1, SegmentDir: t.TempDir()}, 3)
+	if err != nil {
+		t.Fatalf("verify.RunCluster(segments): %v", err)
+	}
+	if len(r.PrivacyViolations) > 0 {
+		t.Fatalf("privacy violations: %v", r.PrivacyViolations)
+	}
+	got := BuildSnapshot(r).Encode()
+	if want := goldenSeed1(t); !bytes.Equal(got, want) {
+		t.Errorf("segment-backed cluster snapshot differs from golden:\n%s", snapshotDiff(want, got))
+	}
+}

@@ -54,3 +54,7 @@ func NewStudy(cfg StudyConfig) *Study {
 
 // OpenStudy loads previously saved datasets (see Study.Save).
 func OpenStudy(dir string) (*Study, error) { return core.Open(dir) }
+
+// OpenSegmentStudy loads a study from a columnar segment directory
+// written by a segment-backed collector (bismark-server -segments).
+func OpenSegmentStudy(dir string) (*Study, error) { return core.OpenSegments(dir) }
