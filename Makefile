@@ -1,10 +1,11 @@
 # Tier-1 verification plus the race/bench targets the telemetry PR added.
 #
-#   make check         # vet + build + tests with -race + verify + load + cluster + segment gates
-#   make check-verify  # golden runs, conservation invariants, parser fuzzing
-#   make check-load    # sharded-store stress + admission + loadgen soaks, -race
-#   make check-cluster # multi-node routing/replication/failover + chaos soak, -race
-#   make check-segment # segment engine: crash windows, fuzz seeds, goldens, -race
+#   make check           # vet + build + tests with -race + verify + load + cluster + segment + rebalance gates
+#   make check-verify    # golden runs, conservation invariants, parser fuzzing
+#   make check-load      # sharded-store stress + admission + loadgen soaks, -race
+#   make check-cluster   # multi-node routing/replication/failover + chaos soak, -race
+#   make check-segment   # segment engine: crash windows, fuzz seeds, goldens, -race
+#   make check-rebalance # elastic scale-in/out: ring property, epoch, soaks, goldens, -race
 #   make bench         # regression benchmark suite -> BENCH_9.json
 #   make bench-paper   # full reproduction driver (tables/figures + ablations)
 
@@ -17,9 +18,10 @@ FUZZTIME ?= 10s
 BENCHTIME ?= 300ms
 
 .PHONY: check vet build test race bench bench-paper bench-telemetry \
-	check-reliability check-verify check-load check-cluster check-segment fuzz-seeds
+	check-reliability check-verify check-load check-cluster check-segment \
+	check-rebalance fuzz-seeds
 
-check: vet build race check-verify check-load check-cluster check-segment
+check: vet build race check-verify check-load check-cluster check-segment check-rebalance
 
 vet:
 	$(GO) vet ./...
@@ -130,6 +132,30 @@ check-load:
 check-cluster:
 	$(GO) test -race ./internal/cluster/
 	$(GO) test -run='^$$' -fuzz='FuzzControlDecode' -fuzztime=$(FUZZTIME) ./internal/cluster/
+
+# The elastic-rebalancing gate, under the race detector:
+#   1. the ring relocation property/metamorphic suite — adding one node
+#      moves at most its fair share of keys, and every moved key lands
+#      on the added node; replica sets stay stable for unmoved keys;
+#   2. the epoch state machine — CRDT-shaped merge of committed/pending
+#      epochs, version precedence, commit retirement, ring selection;
+#   3. the ownership-extraction suites — dataset and segment stores
+#      carve out a router subset (rows + dedupe keys) without touching
+#      unmatched rows, concurrent with ingest, across restarts;
+#   4. the scale-event suite — mid-run join and drain with ownership
+#      accounting, epoch fencing (whole-batch 429 + Retry-After during
+#      cutover), two-front convergence, and the scale-out/drain chaos
+#      soaks under live loadgen (short profile), gated on zero lost and
+#      zero duplicated rows;
+#   5. the rebalance goldens — a join and a drain fired mid-run through
+#      the full verify deployment, merged snapshots byte-identical to
+#      the single-node golden (JSON-wire variants run in full mode via
+#      check-verify).
+check-rebalance:
+	$(GO) test -race -run 'TestRingRelocationProperty|TestRingReplicaSetStability|TestMembership' ./internal/cluster/
+	$(GO) test -race -run 'TestKeyRouter|TestExtract|TestScanRouters|TestSplitRouters' ./internal/dataset/ ./internal/segment/
+	$(GO) test -race -short -run 'TestClusterScaleOutTransfersOwnership|TestClusterDrainViaFrontEndpoint|TestFrontFencesDuringCutover|TestTwoFrontsConvergeOnEpoch|TestChaosSoakScaleOut|TestChaosSoakDrain' ./internal/cluster/
+	$(GO) test -race -short -run 'TestClusterGoldenJoinMidRun|TestClusterGoldenDrainMidRun' ./internal/verify/
 
 # The segment-storage gate, under the race detector:
 #   1. the segment engine suite — encode/decode round-trips, the

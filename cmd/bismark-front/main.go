@@ -10,6 +10,12 @@
 // the rest. Run several fronts against the same node set for client-side
 // load spreading — fronts are stateless apart from the heartbeat log.
 //
+// The front is also the cluster's rebalancing console:
+// POST /v1/cluster/drain?node=<id> streams a node's ownership to the
+// survivors and shrinks the ring (stop the process once the drained
+// epoch commits), and GET /v1/cluster/epoch reports the committed and
+// pending ring epochs while a join or drain is cutting over.
+//
 // Usage:
 //
 //	bismark-front -udp 127.0.0.1:8077 -http 127.0.0.1:8080 \
@@ -69,6 +75,7 @@ func main() {
 		"uploads", "http://"+front.HTTPAddr(),
 		"stats", "http://"+front.HTTPAddr()+"/v1/stats",
 		"members", "http://"+front.HTTPAddr()+"/cluster/members",
+		"epoch", "http://"+front.HTTPAddr()+"/v1/cluster/epoch",
 		"traces", "http://"+front.HTTPAddr()+"/debug/traces",
 		"control", "http://"+front.CtrlAddr(),
 		"replication", *replication)

@@ -13,13 +13,22 @@
 // Point one or more bismark-front processes at the node's -ctrl address
 // and clients at the fronts.
 //
+// Scale-out: add -join to a new cluster node and it starts OFF the
+// routing ring, streams its share of ownership from the existing
+// members, and only then commits a ring epoch that includes it — fronts
+// fence the moving shards during the cutover, so nothing is lost or
+// duplicated. Scale-in is driven from a front:
+// POST /v1/cluster/drain?node=<id>.
+//
 // Usage:
 //
 //	bismark-server -udp 127.0.0.1:8077 -http 127.0.0.1:8080 -out ./live-data
 //	bismark-server -cluster -node-id node-0 -ctrl 127.0.0.1:9090 -peers 127.0.0.1:9091,127.0.0.1:9092
+//	bismark-server -cluster -join -node-id node-3 -ctrl 127.0.0.1:9093 -peers 127.0.0.1:9090
 package main
 
 import (
+	"context"
 	"flag"
 	"os"
 	"os/signal"
@@ -60,6 +69,7 @@ func main() {
 	nodeID := flag.String("node-id", "node-0", "cluster mode: this node's stable hash-ring identity")
 	ctrlAddr := flag.String("ctrl", "127.0.0.1:9090", "cluster mode: control-plane HTTP address (gossip, replicate, manifest)")
 	peers := flag.String("peers", "", "cluster mode: comma-separated control-plane addresses of existing members (empty for the first node)")
+	joinRing := flag.Bool("join", false, "cluster mode: scale-out — start off the routing ring, pull this node's share of ownership from the existing members, then commit a ring epoch that includes it (requires -peers)")
 	segDir := flag.String("segments", "", "durable columnar segment directory: rows spill from memory to immutable NPS1 segments as they arrive (crash-safe, exactly-once across restarts) and the HTTP listener gains a continuously-updating GET /figures dashboard")
 	segFlushAge := flag.Duration("segment-flush-age", time.Minute, "seal a non-empty memtable this long after its first row even below the row threshold, so quiet deployments still reach disk (0 disables)")
 	flag.Parse()
@@ -87,14 +97,30 @@ func main() {
 				seedPeers = append(seedPeers, p)
 			}
 		}
+		if *joinRing && len(seedPeers) == 0 {
+			log.Error("-join needs -peers: a joiner pulls ownership from existing members")
+			os.Exit(1)
+		}
 		node, err := cluster.NewNode(cluster.NodeConfig{
 			ID:      *nodeID,
 			UDPAddr: *udp, HTTPAddr: *httpAddr, CtrlAddr: *ctrlAddr,
 			Peers: seedPeers, Store: store,
+			Joining: *joinRing,
 		})
 		if err != nil {
 			log.Error("cluster node start failed", "err", err)
 			os.Exit(1)
+		}
+		if *joinRing {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+			if err := node.JoinRing(ctx); err != nil {
+				cancel()
+				log.Error("ring join failed", "err", err)
+				node.Close()
+				os.Exit(1)
+			}
+			cancel()
+			log.Info("joined the routing ring", "node", *nodeID)
 		}
 		node.Collector().SetTraceSampling(*traceSample, *traceSlow)
 		if segStore != nil {

@@ -62,6 +62,24 @@ func startTestCluster(t *testing.T, n, replication int) *testCluster {
 		}
 	})
 	tc.waitAliveNodes(n)
+	// The front seeds with every node's address, so it converges first;
+	// the nodes learn each other transitively. Rebalance coordinators
+	// plan ring changes from a NODE's view, so wait until every node
+	// has the full picture too.
+	waitFor(t, 10*time.Second, "every node sees the full membership", func() bool {
+		for _, nd := range tc.nodes {
+			alive := 0
+			for _, mv := range nd.View() {
+				if mv.Role == RoleNode && mv.State == StateAlive {
+					alive++
+				}
+			}
+			if alive != n {
+				return false
+			}
+		}
+		return true
+	})
 	return tc
 }
 

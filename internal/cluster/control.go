@@ -27,8 +27,12 @@ const (
 	MsgManifestRequest
 	MsgManifestResponse
 	MsgReplicate
+	MsgTransferRequest
+	MsgTransferResponse
+	MsgTransferKeys
+	MsgDrain
 
-	msgKindMax = MsgReplicate
+	msgKindMax = MsgDrain
 )
 
 // Role distinguishes ring-eligible collector nodes from front routers.
@@ -65,6 +69,37 @@ type Member struct {
 	// Beat is the member's self-incremented heartbeat counter; liveness
 	// is "has this advanced recently, as observed by MY clock".
 	Beat uint64
+	// EpochVersion is the highest ring-epoch version this member has
+	// seen (committed or pending). A rebalance coordinator waits for
+	// every live member's EpochVersion to reach its proposal before
+	// moving a single row — that barrier is what makes the fronts'
+	// cutover fencing airtight.
+	EpochVersion uint64
+	// Joining marks a node that has started its process but not yet
+	// completed ownership transfer: it gossips (so peers learn its
+	// addresses and the epoch spreads) but must not appear in the
+	// legacy membership-derived ring until its join epoch commits.
+	Joining bool
+}
+
+// RingEpoch is one versioned ring composition. Epochs totally order
+// planned membership changes: a committed epoch's Nodes ARE the ring
+// (filtered by local liveness), and a pending epoch fences writes whose
+// ownership is about to move. Versions only grow; gossip merges by
+// version with committed state always superseding a pending proposal of
+// the same version.
+type RingEpoch struct {
+	Version   uint64
+	Committed bool
+	Nodes     []string
+}
+
+func (e *RingEpoch) clone() *RingEpoch {
+	if e == nil {
+		return nil
+	}
+	return &RingEpoch{Version: e.Version, Committed: e.Committed,
+		Nodes: append([]string(nil), e.Nodes...)}
 }
 
 // Gossip is one half of an anti-entropy exchange: the full membership
@@ -74,6 +109,11 @@ type Member struct {
 type Gossip struct {
 	From    string
 	Members []Member
+	// Cur/Next piggyback the sender's ring-epoch state (latest
+	// committed epoch and pending proposal, either may be nil) on every
+	// exchange, so epochs spread exactly as fast as membership does.
+	Cur  *RingEpoch
+	Next *RingEpoch
 }
 
 // ManifestRequest asks a peer for applied idempotency keys. With
@@ -112,6 +152,40 @@ type Replicate struct {
 	Batch      []byte
 }
 
+// TransferRequest asks a peer to push every row it holds that the
+// proposed epoch assigns to someone else, through the new owners' own
+// data planes. The peer adopts Epoch as its pending proposal (fencing
+// its view too), runs extract-and-send sessions until a pass moves
+// nothing, and answers with the row count it moved — the coordinator
+// keeps issuing rounds until a full round is all-zero.
+type TransferRequest struct {
+	From  string
+	Epoch *RingEpoch
+}
+
+// TransferResponse reports one peer's completed transfer pass.
+type TransferResponse struct {
+	From string
+	Rows uint64
+}
+
+// TransferKeys pushes moved routers' idempotency keys to their new
+// owner, chunked, so client retries that land there after cutover
+// dedupe instead of re-applying. (The first-write manifest gate would
+// eventually pull the same keys; pushing them makes the window not
+// depend on the source staying alive — essential for drains.)
+type TransferKeys struct {
+	From    string
+	Entries []ManifestEntry
+}
+
+// Drain asks a node (always addressed to itself — the front relays the
+// operator request to the named node's control plane) to transfer all
+// its ownership away and leave the ring.
+type Drain struct {
+	Node string
+}
+
 // Message is the decoded one-of envelope; exactly the field matching
 // Kind is non-nil.
 type Message struct {
@@ -120,6 +194,10 @@ type Message struct {
 	ManifestReq  *ManifestRequest
 	ManifestResp *ManifestResponse
 	Replicate    *Replicate
+	TransferReq  *TransferRequest
+	TransferResp *TransferResponse
+	TransferKeys *TransferKeys
+	Drain        *Drain
 }
 
 // AppendMessage encodes a message onto dst and returns the extended
@@ -131,6 +209,8 @@ func AppendMessage(dst []byte, m *Message) []byte {
 	case MsgGossip:
 		e.str(m.Gossip.From)
 		e.members(m.Gossip.Members)
+		e.epoch(m.Gossip.Cur)
+		e.epoch(m.Gossip.Next)
 	case MsgManifestRequest:
 		e.str(m.ManifestReq.Joiner)
 		e.members(m.ManifestReq.Members)
@@ -156,6 +236,24 @@ func AppendMessage(dst []byte, m *Message) []byte {
 		}
 		e.uvarint(uint64(len(m.Replicate.Batch)))
 		e.buf = append(e.buf, m.Replicate.Batch...)
+	case MsgTransferRequest:
+		e.str(m.TransferReq.From)
+		e.epoch(m.TransferReq.Epoch)
+	case MsgTransferResponse:
+		e.str(m.TransferResp.From)
+		e.uvarint(m.TransferResp.Rows)
+	case MsgTransferKeys:
+		e.str(m.TransferKeys.From)
+		e.uvarint(uint64(len(m.TransferKeys.Entries)))
+		for _, en := range m.TransferKeys.Entries {
+			e.str(en.Router)
+			e.uvarint(uint64(len(en.Keys)))
+			for _, k := range en.Keys {
+				e.str(k)
+			}
+		}
+	case MsgDrain:
+		e.str(m.Drain.Node)
 	}
 	return e.buf
 }
@@ -178,6 +276,36 @@ func (e *ctrlEncoder) members(ms []Member) {
 		e.str(m.DataAddr)
 		e.uvarint(m.Incarnation)
 		e.uvarint(m.Beat)
+		e.uvarint(m.EpochVersion)
+		var flags byte
+		if m.Joining {
+			flags |= memberFlagJoining
+		}
+		e.buf = append(e.buf, flags)
+	}
+}
+
+// memberFlagJoining marks a Member still mid-join (see Member.Joining).
+// Unknown flag bits are a decode error, keeping the encoding canonical.
+const memberFlagJoining = 1 << 0
+
+// epoch encodes an optional RingEpoch: a presence byte, then version,
+// committed flag, and the node list.
+func (e *ctrlEncoder) epoch(ep *RingEpoch) {
+	if ep == nil {
+		e.buf = append(e.buf, 0)
+		return
+	}
+	e.buf = append(e.buf, 1)
+	e.uvarint(ep.Version)
+	var c byte
+	if ep.Committed {
+		c = 1
+	}
+	e.buf = append(e.buf, c)
+	e.uvarint(uint64(len(ep.Nodes)))
+	for _, id := range ep.Nodes {
+		e.str(id)
 	}
 }
 
@@ -197,6 +325,12 @@ func DecodeMessage(buf []byte) (*Message, error) {
 		g := &Gossip{}
 		if g.From, err = d.str(); err == nil {
 			g.Members, err = d.members()
+		}
+		if err == nil {
+			g.Cur, err = d.epoch()
+		}
+		if err == nil {
+			g.Next, err = d.epoch()
 		}
 		m.Gossip = g
 	case MsgManifestRequest:
@@ -273,6 +407,50 @@ func DecodeMessage(buf []byte) (*Message, error) {
 			}
 		}
 		m.Replicate = r
+	case MsgTransferRequest:
+		r := &TransferRequest{}
+		if r.From, err = d.str(); err == nil {
+			r.Epoch, err = d.epoch()
+		}
+		m.TransferReq = r
+	case MsgTransferResponse:
+		r := &TransferResponse{}
+		if r.From, err = d.str(); err == nil {
+			r.Rows, err = d.uvarint()
+		}
+		m.TransferResp = r
+	case MsgTransferKeys:
+		r := &TransferKeys{}
+		if r.From, err = d.str(); err != nil {
+			break
+		}
+		var n int
+		if n, err = d.count(); err != nil {
+			break
+		}
+		for i := 0; i < n && err == nil; i++ {
+			var en ManifestEntry
+			if en.Router, err = d.str(); err != nil {
+				break
+			}
+			var nk int
+			if nk, err = d.count(); err != nil {
+				break
+			}
+			for j := 0; j < nk; j++ {
+				var k string
+				if k, err = d.str(); err != nil {
+					break
+				}
+				en.Keys = append(en.Keys, k)
+			}
+			r.Entries = append(r.Entries, en)
+		}
+		m.TransferKeys = r
+	case MsgDrain:
+		r := &Drain{}
+		r.Node, err = d.str()
+		m.Drain = r
 	default:
 		return nil, fmt.Errorf("cluster: unknown control message kind %d", m.Kind)
 	}
@@ -376,7 +554,59 @@ func (d *ctrlDecoder) members() ([]Member, error) {
 		if m.Beat, err = d.uvarint(); err != nil {
 			return nil, err
 		}
+		if m.EpochVersion, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		flags, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		if flags&^memberFlagJoining != 0 {
+			return nil, d.corrupt("unknown member flags")
+		}
+		m.Joining = flags&memberFlagJoining != 0
 		out = append(out, m)
 	}
 	return out, nil
+}
+
+// epoch decodes an optional RingEpoch (presence byte, version,
+// committed flag, node list). Presence and committed bytes outside
+// {0,1} are rejected so every valid message has exactly one encoding.
+func (d *ctrlDecoder) epoch() (*RingEpoch, error) {
+	p, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch p {
+	case 0:
+		return nil, nil
+	case 1:
+	default:
+		return nil, d.corrupt("epoch presence byte")
+	}
+	e := &RingEpoch{}
+	if e.Version, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	c, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if c > 1 {
+		return nil, d.corrupt("epoch committed byte")
+	}
+	e.Committed = c == 1
+	n, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var id string
+		if id, err = d.str(); err != nil {
+			return nil, err
+		}
+		e.Nodes = append(e.Nodes, id)
+	}
+	return e, nil
 }

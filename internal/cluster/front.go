@@ -79,6 +79,7 @@ type Front struct {
 
 	mReqs       *telemetry.CounterVec
 	mThrottled  *telemetry.Counter
+	mFenced     *telemetry.Counter
 	mRouted     *telemetry.CounterVec
 	mReplicated *telemetry.CounterVec
 	mErrors     *telemetry.CounterVec
@@ -128,6 +129,8 @@ func NewFront(cfg FrontConfig) (*Front, error) {
 			"Front-tier requests received, per endpoint.", "endpoint"),
 		mThrottled: reg.CounterVec("natpeek_front_throttled_total",
 			"Front-tier requests answered 429, per front.", "front").With(cfg.ID),
+		mFenced: reg.CounterVec("natpeek_front_fenced_total",
+			"Requests answered 429 because a pending ring epoch is moving their shard, per front.", "front").With(cfg.ID),
 		mRouted: reg.CounterVec("natpeek_front_routed_items_total",
 			"Batch items routed to an owner node, per node.", "node"),
 		mReplicated: reg.CounterVec("natpeek_front_replicated_frames_total",
@@ -164,6 +167,10 @@ func NewFront(cfg FrontConfig) (*Front, error) {
 	mux.HandleFunc("POST /v1/batch", f.instrument("/v1/batch", f.handleBatch))
 	mux.HandleFunc("GET /v1/stats", f.handleStats)
 	mux.HandleFunc("GET /healthz", f.handleHealthz)
+	mux.HandleFunc("POST /v1/cluster/drain", f.handleDrainAdmin)
+	mux.HandleFunc("GET /v1/cluster/epoch", func(w http.ResponseWriter, r *http.Request) {
+		writeEpochJSON(w, f.ms)
+	})
 	mux.HandleFunc("GET /cluster/members", func(w http.ResponseWriter, r *http.Request) {
 		writeMembersJSON(w, f.ms.view())
 	})
@@ -256,9 +263,31 @@ func (f *Front) handleGossip(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	f.ms.merge(m.Gossip.Members)
+	f.ms.mergeEpochs(m.Gossip.Cur, m.Gossip.Next)
+	cur, next := f.ms.epochs()
 	w.Header().Set("Content-Type", ctrlContentType)
 	w.Write(AppendMessage(nil, &Message{Kind: MsgGossip,
-		Gossip: &Gossip{From: f.cfg.ID, Members: f.ms.snapshot()}}))
+		Gossip: &Gossip{From: f.cfg.ID, Members: f.ms.snapshot(), Cur: cur, Next: next}}))
+}
+
+// fenceCheck reports whether a router's shard is mid-cutover: a pending
+// ring epoch assigns it a different owner than the current ring. Writes
+// for such a shard are answered 429 + Retry-After — applying them at
+// the old owner could race the transfer's extraction (landing after the
+// final sweep and getting stranded), and applying them at the new owner
+// would fork the row set before its history arrives. The client's
+// normal retry loop absorbs the pause; fencing never drops a write.
+// Fencing is deterministic across fronts because the pending ring is
+// built from the proposal's node list alone, unfiltered by local
+// liveness judgements.
+func (f *Front) fenceCheck(ring, pending *Ring, router string) bool {
+	return pending != nil && pending.Owner(router) != ring.Owner(router)
+}
+
+// fencedFailure is the uniform cutover answer.
+func fencedFailure(router string) *forwardFailure {
+	return &forwardFailure{status: http.StatusTooManyRequests, retryAfter: "1",
+		msg: "shard for router " + router + " is rebalancing, retry later"}
 }
 
 // instrument wraps a data-plane handler with the collector's admission
@@ -311,10 +340,14 @@ func (f *Front) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	groups, errStatus := f.groupItems(items, start)
-	if errStatus != 0 {
-		f.mErrors.With("no-nodes").Inc()
-		http.Error(w, "no live collector nodes", errStatus)
+	groups, fail := f.groupItems(items, start)
+	if fail != nil {
+		if fail.status == http.StatusTooManyRequests {
+			f.mFenced.Inc()
+		} else {
+			f.mErrors.With("no-nodes").Inc()
+		}
+		fail.write(w)
 		return
 	}
 
@@ -375,13 +408,17 @@ func decodeBatchItems(contentType string, body []byte) ([]wire.Item, error) {
 }
 
 // groupItems splits a batch by replica set, appending the front.route
-// span each traced item carries across the hop. Returns a non-zero
-// status when the ring is empty.
-func (f *Front) groupItems(items []wire.Item, start time.Time) ([]*placementGroup, int) {
+// span each traced item carries across the hop. Fails the whole batch
+// when the ring is empty, or with a fence when ANY item's shard is
+// mid-cutover — partial application would ack rows the client has no
+// way to re-send selectively, so the batch is refused before a single
+// item is forwarded and the retry lands intact after the cutover.
+func (f *Front) groupItems(items []wire.Item, start time.Time) ([]*placementGroup, *forwardFailure) {
 	ring := f.ms.ring()
 	if ring.Len() == 0 {
-		return nil, http.StatusServiceUnavailable
+		return nil, &forwardFailure{status: http.StatusServiceUnavailable, msg: "no live collector nodes"}
 	}
+	pending := f.ms.pendingRing()
 	n := f.cfg.Replication
 	if n > ring.Len() {
 		n = ring.Len()
@@ -392,6 +429,9 @@ func (f *Front) groupItems(items []wire.Item, start time.Time) ([]*placementGrou
 	for i := range items {
 		it := &items[i]
 		router := routerOfItem(it)
+		if f.fenceCheck(ring, pending, router) {
+			return nil, fencedFailure(router)
+		}
 		placement := ring.Lookup(router, n)
 		gk := strings.Join(placement, "\x00")
 		g := byKey[gk]
@@ -415,7 +455,7 @@ func (f *Front) groupItems(items []wire.Item, start time.Time) ([]*placementGrou
 		}
 		g.items = append(g.items, *it)
 	}
-	return groups, 0
+	return groups, nil
 }
 
 // forwardFailure is a routed request's terminal error: what to tell the
@@ -543,6 +583,11 @@ func (f *Front) proxyEndpoint(endpoint string) http.HandlerFunc {
 			http.Error(w, "no live collector nodes", http.StatusServiceUnavailable)
 			return
 		}
+		if f.fenceCheck(ring, f.ms.pendingRing(), router) {
+			f.mFenced.Inc()
+			fencedFailure(router).write(w)
+			return
+		}
 		n := f.cfg.Replication
 		if n > ring.Len() {
 			n = ring.Len()
@@ -613,6 +658,32 @@ func (f *Front) proxyEndpoint(endpoint string) http.HandlerFunc {
 		w.WriteHeader(resp.StatusCode)
 		w.Write(respBody)
 	})
+}
+
+// handleDrainAdmin is the operator's scale-in entry point:
+// POST /v1/cluster/drain?node=<id> relays a MsgDrain to the named
+// node's control plane and passes its 202 back. The drain itself runs
+// on the node; the operator polls GET /v1/cluster/epoch (here or on any
+// front) and stops the process once the epoch without the node commits.
+func (f *Front) handleDrainAdmin(w http.ResponseWriter, r *http.Request) {
+	f.mReqs.With("/v1/cluster/drain").Inc()
+	id := r.URL.Query().Get("node")
+	if id == "" {
+		http.Error(w, "missing ?node=<id>", http.StatusBadRequest)
+		return
+	}
+	mem, ok := f.ms.lookup(id)
+	if !ok || mem.Role != RoleNode {
+		http.Error(w, "unknown collector node "+id, http.StatusNotFound)
+		return
+	}
+	if _, err := postCtrl(f.httpc, mem.CtrlAddr, "/cluster/drain",
+		&Message{Kind: MsgDrain, Drain: &Drain{Node: id}}, 10*time.Second); err != nil {
+		http.Error(w, "drain "+id+": "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	f.log.Info("drain accepted", "node", id)
+	w.WriteHeader(http.StatusAccepted)
 }
 
 // handleStats aggregates /v1/stats across every live node, plus the

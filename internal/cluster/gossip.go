@@ -53,7 +53,7 @@ func (g *gossiper) learn() {
 			g.log.Debug("join: seed unreachable", "peer", peer, "err", err)
 			continue
 		}
-		g.ms.merge(resp.Members)
+		g.absorb(resp)
 	}
 }
 
@@ -65,12 +65,53 @@ func (g *gossiper) once() {
 		return
 	}
 	g.mRounds.Inc()
-	resp, err := g.exchange(target, &Gossip{From: g.id, Members: g.ms.snapshot()})
+	resp, err := g.exchange(target, g.outbound())
 	if err != nil {
 		g.mErrs.Inc()
 		return
 	}
+	g.absorb(resp)
+}
+
+// broadcast exchanges with every known non-dead peer (and the seeds, in
+// case the table is still empty). Rebalance coordinators call it to
+// push an epoch proposal or commit everywhere at once instead of
+// waiting for random-pair rounds to percolate it.
+func (g *gossiper) broadcast() {
+	g.ms.bump()
+	addrs := make(map[string]bool)
+	for _, mv := range g.ms.view() {
+		if mv.ID != g.id && mv.State != StateDead && mv.CtrlAddr != "" {
+			addrs[mv.CtrlAddr] = true
+		}
+	}
+	for _, s := range g.seeds {
+		addrs[s] = true
+	}
+	for addr := range addrs {
+		resp, err := g.exchange(addr, g.outbound())
+		if err != nil {
+			g.mErrs.Inc()
+			continue
+		}
+		g.absorb(resp)
+	}
+}
+
+// outbound builds this process's half of an exchange: full member table
+// plus epoch state.
+func (g *gossiper) outbound() *Gossip {
+	cur, next := g.ms.epochs()
+	return &Gossip{From: g.id, Members: g.ms.snapshot(), Cur: cur, Next: next}
+}
+
+// absorb merges a peer's half of an exchange.
+func (g *gossiper) absorb(resp *Gossip) {
+	if resp == nil {
+		return
+	}
 	g.ms.merge(resp.Members)
+	g.ms.mergeEpochs(resp.Cur, resp.Next)
 }
 
 // pickPeer chooses a random non-dead member's control address.

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -73,6 +74,12 @@ type membership struct {
 	mu    sync.Mutex
 	self  Member
 	peers map[string]*peerEntry
+	// cur is the latest committed ring epoch; next is a pending
+	// proposal strictly newer than cur. Both nil until the first
+	// planned membership change — epoch-less clusters route purely by
+	// gossiped membership, exactly as before epochs existed.
+	cur  *RingEpoch
+	next *RingEpoch
 }
 
 type peerEntry struct {
@@ -94,7 +101,29 @@ func (ms *membership) bump() Member {
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
 	ms.self.Beat++
+	ms.self.EpochVersion = ms.epochVersionLocked()
 	return ms.self
+}
+
+// epochVersionLocked is the highest epoch version this process has
+// seen, pending included. Caller holds mu.
+func (ms *membership) epochVersionLocked() uint64 {
+	v := uint64(0)
+	if ms.cur != nil {
+		v = ms.cur.Version
+	}
+	if ms.next != nil && ms.next.Version > v {
+		v = ms.next.Version
+	}
+	return v
+}
+
+// setJoining flips the self entry's Joining flag (cleared when a join
+// epoch commits).
+func (ms *membership) setJoining(j bool) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.self.Joining = j
 }
 
 // merge folds remote knowledge in. A higher incarnation replaces a
@@ -126,12 +155,85 @@ func (ms *membership) merge(members []Member) {
 func (ms *membership) snapshot() []Member {
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
+	ms.self.EpochVersion = ms.epochVersionLocked()
 	out := make([]Member, 0, 1+len(ms.peers))
 	out = append(out, ms.self)
 	for _, pe := range ms.peers {
 		out = append(out, pe.m)
 	}
 	return out
+}
+
+// mergeEpochs folds a gossiped epoch pair in. Committed epochs win by
+// version; a pending proposal is adopted only if strictly newer than
+// everything known (with a deterministic node-list tie-break so
+// concurrent proposals at the same version converge cluster-wide
+// instead of splitting on arrival order). A commit at or past the
+// pending version retires the proposal.
+func (ms *membership) mergeEpochs(cur, next *RingEpoch) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.mergeEpochLocked(cur)
+	ms.mergeEpochLocked(next)
+}
+
+func (ms *membership) mergeEpochLocked(e *RingEpoch) {
+	if e == nil || len(e.Nodes) == 0 {
+		return
+	}
+	if e.Committed {
+		if ms.cur == nil || e.Version > ms.cur.Version {
+			ms.cur = e.clone()
+		}
+	} else if ms.cur == nil || e.Version > ms.cur.Version {
+		switch {
+		case ms.next == nil || e.Version > ms.next.Version:
+			ms.next = e.clone()
+		case e.Version == ms.next.Version && nodesKey(e.Nodes) < nodesKey(ms.next.Nodes):
+			ms.next = e.clone()
+		}
+	}
+	if ms.cur != nil && ms.next != nil && ms.next.Version <= ms.cur.Version {
+		ms.next = nil
+	}
+}
+
+// nodesKey is the tie-break ordering for same-version proposals.
+func nodesKey(nodes []string) string { return strings.Join(nodes, "\x00") }
+
+// proposeEpoch installs a pending epoch over the given ring composition
+// at a version past everything seen, and returns it for gossiping.
+func (ms *membership) proposeEpoch(nodes []string) *RingEpoch {
+	ids := append([]string(nil), nodes...)
+	sort.Strings(ids)
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	e := &RingEpoch{Version: ms.epochVersionLocked() + 1, Nodes: ids}
+	ms.next = e
+	return e.clone()
+}
+
+// commitEpoch promotes the pending proposal at version to the committed
+// ring. It fails (ok=false) if the proposal was superseded while the
+// coordinator was transferring — the coordinator must not clear fencing
+// for an epoch the cluster no longer agrees on.
+func (ms *membership) commitEpoch(version uint64) (*RingEpoch, bool) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if ms.next == nil || ms.next.Version != version {
+		return nil, false
+	}
+	ms.cur = &RingEpoch{Version: version, Committed: true, Nodes: ms.next.Nodes}
+	ms.next = nil
+	return ms.cur.clone(), true
+}
+
+// epochs returns clones of the committed and pending epochs (either may
+// be nil).
+func (ms *membership) epochs() (cur, next *RingEpoch) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.cur.clone(), ms.next.clone()
 }
 
 // view is the judged membership, sorted by ID, self included.
@@ -155,18 +257,67 @@ func (ms *membership) view() []MemberView {
 	return out
 }
 
-// ring builds the hash ring over ring-eligible members: RoleNode and
-// not locally dead. Suspects stay on the ring — pulling them on the
-// first stalled beat would flap ownership under load spikes; only a
+// ring builds the routing hash ring. With a committed epoch, its node
+// list IS the ring — filtered by local liveness so a dead epoch member
+// still fails over via journals — and membership only supplies
+// addresses. Without one (a cluster that has never resized), the ring
+// derives from gossiped membership as before: RoleNode, not locally
+// dead, and not mid-join. Suspects stay on the ring — pulling them on
+// the first stalled beat would flap ownership under load spikes; only a
 // dead verdict moves shards.
 func (ms *membership) ring() *Ring {
+	views := ms.view()
+	cur, _ := ms.epochs()
+	if cur != nil {
+		alive := make(map[string]bool, len(views))
+		for _, mv := range views {
+			if mv.Role == RoleNode && mv.State != StateDead {
+				alive[mv.ID] = true
+			}
+		}
+		var ids []string
+		for _, id := range cur.Nodes {
+			if alive[id] {
+				ids = append(ids, id)
+			}
+		}
+		return NewRing(ids, DefaultVnodes)
+	}
 	var ids []string
-	for _, mv := range ms.view() {
-		if mv.Role == RoleNode && mv.State != StateDead {
+	for _, mv := range views {
+		if mv.Role == RoleNode && mv.State != StateDead && !mv.Joining {
 			ids = append(ids, mv.ID)
 		}
 	}
 	return NewRing(ids, DefaultVnodes)
+}
+
+// pendingRing is the ring a pending epoch proposes, unfiltered by
+// liveness — fencing compares ownership deterministically, the same on
+// every front.
+func (ms *membership) pendingRing() *Ring {
+	_, next := ms.epochs()
+	if next == nil {
+		return nil
+	}
+	return NewRing(next.Nodes, DefaultVnodes)
+}
+
+// planningNodes is the node set a coordinator starts a membership
+// change from: the committed epoch's nodes if one exists, else the
+// ring-eligible live members (joiners excluded).
+func (ms *membership) planningNodes() []string {
+	cur, _ := ms.epochs()
+	if cur != nil {
+		return append([]string(nil), cur.Nodes...)
+	}
+	var ids []string
+	for _, mv := range ms.view() {
+		if mv.Role == RoleNode && mv.State != StateDead && !mv.Joining {
+			ids = append(ids, mv.ID)
+		}
+	}
+	return ids
 }
 
 // lookup returns a member's current identity.

@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"natpeek/internal/collector"
@@ -44,6 +45,12 @@ type NodeConfig struct {
 	// MaxInflight caps concurrent data-plane uploads (collector
 	// SetMaxInflight semantics); 0 keeps the collector default.
 	MaxInflight int
+	// Joining starts the node outside the routing ring: it gossips (so
+	// peers learn its addresses) but owns nothing until JoinRing
+	// commits the epoch that includes it. Scale-out always sets this —
+	// a new node that silently appeared in the membership-derived ring
+	// would take writes for shards whose history lives elsewhere.
+	Joining bool
 }
 
 // Node is one cluster member: a full collector server (the data plane,
@@ -72,13 +79,13 @@ type Node struct {
 	// router — the source for the manifests a rejoining node seeds its
 	// dedupe index from.
 	ownerKeys map[string]map[string]bool
-	// journalKeys indexes the keyed items inside journaled frames, per
-	// router. A journaled frame's keys were acked by an owner whose
-	// store may since have died; until the frame replays, this index is
-	// the only evidence those writes happened — manifests serve it so a
-	// retry at a reborn owner dedupes instead of racing the replay into
-	// a duplicate.
-	journalKeys map[string]map[string]bool
+	// Journaled frames' keys are indexed per entry (journalEntry.keys):
+	// manifests serve a frame's keys only while its owner still holds
+	// the rows (or after the replay landed them somewhere) — serving
+	// them for a dead owner's unreplayed frame would seed the replay
+	// destination's dedupe index with keys whose rows exist nowhere yet,
+	// and the replay itself would then flatten to duplicates and lose
+	// the rows.
 	// routerGate tracks the first-write check per router (see gateRouter):
 	// each router's first keyed write since process start blocks until
 	// this node has pulled that router's applied keys from its live
@@ -88,10 +95,19 @@ type Node struct {
 
 	gsp *gossiper
 
+	// xferMu serializes extract-and-send transfer sessions (a drain and
+	// an inbound transfer request must not interleave extracts).
+	xferMu   sync.Mutex
+	xferSess atomic.Uint64
+	draining atomic.Bool
+
 	mJournalFrames *telemetry.Counter
 	gJournalBytes  *telemetry.Gauge
 	mReplayed      *telemetry.Counter
 	mReplayRows    *telemetry.Counter
+	mXferRows      *telemetry.Counter
+	mXferKeys      *telemetry.Counter
+	gEpoch         *telemetry.Gauge
 
 	stop    chan struct{}
 	wg      sync.WaitGroup
@@ -115,7 +131,24 @@ type journalEntry struct {
 	// a successor whose incarnation changed: its journal died with its
 	// previous life, so it cannot replay the frame it "holds".
 	succIncs []uint64
+	// keys are the frame's keyed items per router, recorded at journal
+	// time so manifests can serve (or withhold) them per frame.
+	keys     map[string][]string
 	replayed bool
+}
+
+// ownerHoldsRows reports whether the frame's rows are still believed to
+// live at the journaled owner: the owner is not judged dead and has not
+// been reborn under a new incarnation. Mirrors the replayScan verdict.
+func (e *journalEntry) ownerHoldsRows(state map[string]State, incs map[string]uint64) bool {
+	st, known := state[e.owner]
+	if known && st == StateDead {
+		return false
+	}
+	if e.ownerInc != 0 && known && incs[e.owner] != e.ownerInc {
+		return false
+	}
+	return true
 }
 
 // NewNode starts a cluster node: collector listeners, control-plane
@@ -150,7 +183,6 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		httpc:       &http.Client{},
 		journalSeen: make(map[uint64]bool),
 		ownerKeys:   make(map[string]map[string]bool),
-		journalKeys: make(map[string]map[string]bool),
 		routerGate:  make(map[string]chan struct{}),
 		mJournalFrames: reg.CounterVec("natpeek_cluster_journal_frames_total",
 			"Replicate frames journaled as a successor, per node.", "node").With(cfg.ID),
@@ -160,6 +192,12 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 			"Journaled frames replayed after an owner died, per node.", "node").With(cfg.ID),
 		mReplayRows: reg.CounterVec("natpeek_cluster_replayed_items_total",
 			"Batch items applied by failover replays, per node.", "node").With(cfg.ID),
+		mXferRows: reg.CounterVec("natpeek_cluster_transfer_rows_total",
+			"Rows streamed to new owners by planned rebalancing, per node.", "node").With(cfg.ID),
+		mXferKeys: reg.CounterVec("natpeek_cluster_transfer_keys_total",
+			"Idempotency keys pushed to new owners by planned rebalancing, per node.", "node").With(cfg.ID),
+		gEpoch: reg.GaugeVec("natpeek_cluster_ring_epoch",
+			"Highest ring-epoch version this node has seen, per node.", "node").With(cfg.ID),
 		stop: make(chan struct{}),
 	}
 	// Incarnation is the start instant: any restart of the same ID
@@ -169,6 +207,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		CtrlAddr:    ln.Addr().String(),
 		DataAddr:    srv.HTTPAddr(),
 		Incarnation: uint64(time.Now().UnixNano()),
+		Joining:     cfg.Joining,
 	}, cfg.Gossip)
 	n.gsp = newGossiper(cfg.ID, n.ms, n.httpc, cfg.Peers, n.log)
 
@@ -179,7 +218,11 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	mux.HandleFunc("POST /cluster/gossip", n.handleGossip)
 	mux.HandleFunc("POST /cluster/replicate", n.handleReplicate)
 	mux.HandleFunc("POST /cluster/manifest", n.handleManifest)
+	mux.HandleFunc("POST /cluster/transfer", n.handleTransfer)
+	mux.HandleFunc("POST /cluster/transferkeys", n.handleTransferKeys)
+	mux.HandleFunc("POST /cluster/drain", n.handleDrain)
 	mux.HandleFunc("GET /cluster/members", n.handleMembers)
+	mux.HandleFunc("GET /cluster/epoch", n.handleEpoch)
 	n.ctrl = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	go n.ctrl.Serve(ln)
 
@@ -470,20 +513,66 @@ func (n *Node) replayScan() {
 	}
 }
 
-// replay POSTs a journaled frame to this node's own data plane — the
-// handoff IS a normal binary batch upload, so admission control,
-// dedupe, tracing, and telemetry all apply unchanged.
+// replay routes a journaled frame's items into the data plane of each
+// item's CURRENT ring owner — the handoff IS a normal binary batch
+// upload, so admission control, dedupe, tracing, and telemetry all
+// apply unchanged. Routing at replay time (rather than blindly into
+// this node) matters once the ring can change shape: after a drain
+// moved a dead owner's routers, their history — and crucially their
+// dedupe keys — lives at the new owner, and a replay applied anywhere
+// else would re-create rows the cluster already acknowledged. Items
+// whose owner is unknown, or an empty ring, fall back to this node's
+// own data plane, which reproduces the pre-rebalance behavior exactly.
 func (n *Node) replay(e *journalEntry) (collector.BatchResult, error) {
+	var total collector.BatchResult
+	groups := map[string][]byte{}
+	items, err := decodeBatchItems(wire.ContentTypeBinary, e.batch)
+	if err != nil {
+		return total, err
+	}
+	if ring := n.ms.ring(); ring.Len() > 0 {
+		byAddr := make(map[string][]wire.Item)
+		for _, it := range items {
+			addr := n.DataAddr()
+			if owner := ring.Owner(routerOfItem(&it)); owner != "" && owner != n.cfg.ID {
+				if mem, ok := n.ms.lookup(owner); ok && mem.DataAddr != "" {
+					addr = mem.DataAddr
+				}
+			}
+			byAddr[addr] = append(byAddr[addr], it)
+		}
+		for addr, its := range byAddr {
+			groups[addr] = wire.AppendBatch(nil, its)
+		}
+	} else {
+		groups[n.DataAddr()] = e.batch
+	}
+	for addr, batch := range groups {
+		res, err := postBatchBinary(n.httpc, addr, batch)
+		if err != nil {
+			return total, err
+		}
+		total.Applied += res.Applied
+		total.Duplicates += res.Duplicates
+		total.Rejected += res.Rejected
+		total.Failed = append(total.Failed, res.Failed...)
+	}
+	return total, nil
+}
+
+// postBatchBinary POSTs one NPB1 batch to a data plane and decodes the
+// BatchResult. Shared by failover replay and the transfer engine.
+func postBatchBinary(httpc *http.Client, dataAddr string, batch []byte) (collector.BatchResult, error) {
 	var res collector.BatchResult
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		"http://"+n.DataAddr()+"/v1/batch", bytes.NewReader(e.batch))
+		"http://"+dataAddr+"/v1/batch", bytes.NewReader(batch))
 	if err != nil {
 		return res, err
 	}
 	req.Header.Set("Content-Type", wire.ContentTypeBinary)
-	resp, err := n.httpc.Do(req)
+	resp, err := httpc.Do(req)
 	if err != nil {
 		return res, err
 	}
@@ -493,7 +582,7 @@ func (n *Node) replay(e *journalEntry) (collector.BatchResult, error) {
 		return res, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return res, fmt.Errorf("replay: %s: %s", resp.Status, bytes.TrimSpace(body))
+		return res, fmt.Errorf("batch post: %s: %s", resp.Status, bytes.TrimSpace(body))
 	}
 	err = json.Unmarshal(body, &res)
 	return res, err
@@ -505,8 +594,22 @@ func (n *Node) handleGossip(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n.ms.merge(m.Gossip.Members)
+	n.ms.mergeEpochs(m.Gossip.Cur, m.Gossip.Next)
+	cur, next := n.ms.epochs()
+	n.gEpoch.Set(float64(maxEpochVersion(cur, next)))
 	n.writeCtrl(w, &Message{Kind: MsgGossip,
-		Gossip: &Gossip{From: n.cfg.ID, Members: n.ms.snapshot()}})
+		Gossip: &Gossip{From: n.cfg.ID, Members: n.ms.snapshot(), Cur: cur, Next: next}})
+}
+
+func maxEpochVersion(cur, next *RingEpoch) uint64 {
+	v := uint64(0)
+	if cur != nil {
+		v = cur.Version
+	}
+	if next != nil && next.Version > v {
+		v = next.Version
+	}
+	return v
 }
 
 func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
@@ -538,18 +641,8 @@ func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		n.journalSeen[h] = true
 		n.journal = append(n.journal, &journalEntry{
 			owner: rep.Owner, succs: rep.Successors, items: items, batch: rep.Batch,
-			ownerInc: ownerInc, succIncs: succIncs,
+			ownerInc: ownerInc, succIncs: succIncs, keys: frameKeys,
 		})
-		for router, keys := range frameKeys {
-			idx := n.journalKeys[router]
-			if idx == nil {
-				idx = make(map[string]bool)
-				n.journalKeys[router] = idx
-			}
-			for _, k := range keys {
-				idx[k] = true
-			}
-		}
 		n.mJournalFrames.Inc()
 		n.gJournalBytes.Add(float64(len(rep.Batch)))
 	}
@@ -564,23 +657,47 @@ func (n *Node) handleManifest(w http.ResponseWriter, r *http.Request) {
 	}
 	req := m.ManifestReq
 	resp := &ManifestResponse{From: n.cfg.ID}
+	state := make(map[string]State)
+	incs := make(map[string]uint64)
+	for _, mv := range n.ms.view() {
+		state[mv.ID] = mv.State
+		incs[mv.ID] = mv.Incarnation
+	}
 	n.mu.Lock()
 	// A manifest entry is the union of keys this node applied and keys
 	// inside frames it journaled: a journaled key was acked by an owner
-	// whose store may since have died, and until the frame replays the
-	// journal is the only record that write happened. Serving both lets
-	// a reborn owner dedupe a client retry even when it races the
-	// replay.
+	// whose store may since have died, and serving both lets a reborn
+	// owner dedupe a client retry even when it races the replay. One
+	// carve-out: a frame whose owner is LOST and whose replay has not
+	// happened yet is withheld — its rows exist nowhere right now, and
+	// seeding its keys into the node the replay will route to would make
+	// that replay flatten to duplicates and lose the rows for good.
+	journaled := make(map[string]map[string]bool)
+	for _, e := range n.journal {
+		if !e.replayed && !e.ownerHoldsRows(state, incs) {
+			continue
+		}
+		for router, keys := range e.keys {
+			idx := journaled[router]
+			if idx == nil {
+				idx = make(map[string]bool)
+				journaled[router] = idx
+			}
+			for _, k := range keys {
+				idx[k] = true
+			}
+		}
+	}
 	keyUnion := func(router string) []string {
-		applied, journaled := n.ownerKeys[router], n.journalKeys[router]
-		if len(applied) == 0 && len(journaled) == 0 {
+		applied, jkeys := n.ownerKeys[router], journaled[router]
+		if len(applied) == 0 && len(jkeys) == 0 {
 			return nil
 		}
-		out := make([]string, 0, len(applied)+len(journaled))
+		out := make([]string, 0, len(applied)+len(jkeys))
 		for k := range applied {
 			out = append(out, k)
 		}
-		for k := range journaled {
+		for k := range jkeys {
 			if !applied[k] {
 				out = append(out, k)
 			}
@@ -604,11 +721,11 @@ func (n *Node) handleManifest(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		ring := NewRing(ids, DefaultVnodes)
-		routers := make(map[string]bool, len(n.ownerKeys)+len(n.journalKeys))
+		routers := make(map[string]bool, len(n.ownerKeys)+len(journaled))
 		for router := range n.ownerKeys {
 			routers[router] = true
 		}
-		for router := range n.journalKeys {
+		for router := range journaled {
 			routers[router] = true
 		}
 		for router := range routers {

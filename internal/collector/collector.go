@@ -28,12 +28,14 @@ import (
 	"compress/gzip"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -237,9 +239,19 @@ func newAppliers() map[string]applyFunc {
 				st.Capacity = append(st.Capacity, c)
 			}),
 		"/v1/devices": decodeApply(
-			func(up censusUpload) string { return up.Count.RouterID },
+			func(up censusUpload) string {
+				if up.Count.RouterID != "" {
+					return up.Count.RouterID
+				}
+				return firstRouter(up.Sightings, func(s dataset.DeviceSighting) string { return s.RouterID })
+			},
 			func(st *dataset.Store, up censusUpload) {
-				st.Counts = append(st.Counts, up.Count)
+				// A zero-value count means the upload carries only
+				// sightings (cluster rebalancing streams the two row
+				// sets separately); appending it would invent a row.
+				if up.Count != (dataset.DeviceCount{}) {
+					st.Counts = append(st.Counts, up.Count)
+				}
 				st.Sightings = append(st.Sightings, up.Sightings...)
 			}),
 		"/v1/wifi": decodeApply(
@@ -959,13 +971,51 @@ func NewClient(routerID, country, udpAddr, httpAddr string, opts ...Option) (*Cl
 	}
 	c.sp = sp
 	// Registration is the one synchronous call: a client that cannot
-	// reach the server at all should fail construction, not queue.
-	if err := c.post("/v1/register", registerReq{RouterID: routerID, Country: country}); err != nil {
+	// reach the server at all should fail construction, not queue. A
+	// 429, though, is the server's documented "retry later" signal —
+	// admission throttling, or a cluster front fencing the router's
+	// shard during a rebalance cutover — so it is retried with the
+	// advertised backoff for a bounded window rather than failing a
+	// healthy deployment.
+	deadline := time.Now().Add(registerRetryWindow)
+	for {
+		err := c.post("/v1/register", registerReq{RouterID: routerID, Country: country})
+		if err == nil {
+			break
+		}
+		var se *statusError
+		if errors.As(err, &se) && se.status == http.StatusTooManyRequests && time.Now().Before(deadline) {
+			wait := se.retryAfter
+			if wait <= 0 || wait > 5*time.Second {
+				wait = time.Second
+			}
+			time.Sleep(wait)
+			continue
+		}
 		sp.Close()
 		hb.Close()
 		return nil, err
 	}
 	return c, nil
+}
+
+// registerRetryWindow bounds how long NewClient keeps retrying a 429'd
+// registration before giving up. Rebalance fencing windows last seconds;
+// a throttle that persists for half a minute is a capacity problem the
+// caller should see.
+const registerRetryWindow = 30 * time.Second
+
+// statusError carries a non-2xx upload response, preserving the status
+// code and any Retry-After advice for callers that retry.
+type statusError struct {
+	path       string
+	status     int
+	retryAfter time.Duration
+	msg        string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("collector: POST %s: status %d: %s", e.path, e.status, e.msg)
 }
 
 // Close drains the spool (bounded by flushTimeout), stops the drainer,
@@ -1069,7 +1119,17 @@ func (c *Client) post(path string, v any) error {
 	msg := drainBody(resp)
 	resp.Body.Close()
 	if resp.StatusCode >= 300 {
-		return c.fail(path, fmt.Errorf("collector: POST %s: status %d: %s", path, resp.StatusCode, msg))
+		se := &statusError{path: path, status: resp.StatusCode, msg: msg}
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra >= 0 {
+			se.retryAfter = time.Duration(ra) * time.Second
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			// Backpressure: counted, retried by the caller, but kept
+			// out of Err() — same contract as a throttled batch.
+			c.mFailures.With(path).Inc()
+			return se
+		}
+		return c.fail(path, se)
 	}
 	return nil
 }
@@ -1140,7 +1200,18 @@ func (c *Client) sendBatch(ctx context.Context, items []spool.Item) (spool.Resul
 			status = trace.StatusThrottled
 		}
 		c.recordAttempt(now, status, fmt.Sprintf("status %d", resp.StatusCode))
-		return spool.Result{}, c.failBatch(items, fmt.Errorf("collector: POST /v1/batch: status %d: %s", resp.StatusCode, msg))
+		berr := fmt.Errorf("collector: POST /v1/batch: status %d: %s", resp.StatusCode, msg)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			// Backpressure, not failure: the server (or a rebalancing
+			// front fencing a moving shard) asked us to come back
+			// later, the batch stays queued, and the spool redelivers
+			// after backoff. The throttle shows in the failure counter
+			// and as a throttled span, but Err() keeps reporting only
+			// deliveries that actually put data at risk.
+			c.countBatchFailures(items)
+			return spool.Result{}, berr
+		}
+		return spool.Result{}, c.failBatch(items, berr)
 	}
 	// Read the whole acknowledgment: the BatchResult names any items the
 	// server refused as malformed.
@@ -1246,6 +1317,14 @@ func (c *Client) finishBatchTraces(payload []BatchItem, end time.Time) {
 }
 
 func (c *Client) failBatch(items []spool.Item, err error) error {
+	c.countBatchFailures(items)
+	c.mu.Lock()
+	c.lastErr = err
+	c.mu.Unlock()
+	return err
+}
+
+func (c *Client) countBatchFailures(items []spool.Item) {
 	seen := make(map[string]bool, 2)
 	for _, it := range items {
 		if !seen[it.Endpoint] {
@@ -1253,10 +1332,6 @@ func (c *Client) failBatch(items []spool.Item, err error) error {
 			c.mFailures.With(it.Endpoint).Inc()
 		}
 	}
-	c.mu.Lock()
-	c.lastErr = err
-	c.mu.Unlock()
-	return err
 }
 
 // enqueue spools one measurement payload for background delivery,

@@ -221,7 +221,9 @@ func (ap *payloadApplier) apply(st *dataset.Store) {
 	case wire.KindCapacity:
 		st.Capacity = append(st.Capacity, p.Capacity)
 	case wire.KindDevices:
-		st.Counts = append(st.Counts, p.Count)
+		if p.Count != (dataset.DeviceCount{}) {
+			st.Counts = append(st.Counts, p.Count)
+		}
 		st.Sightings = append(st.Sightings, p.Sightings...)
 	case wire.KindWiFi:
 		st.WiFi = append(st.WiFi, p.WiFi...)

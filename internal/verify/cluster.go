@@ -23,6 +23,26 @@ import (
 // snapshot is byte-identical to the single-node golden — sharding,
 // routing, and replication must be invisible in the data.
 func RunCluster(cfg Config, n int) (*Result, error) {
+	return runCluster(cfg, n, "")
+}
+
+// RunClusterRebalance is RunCluster with a planned membership change
+// fired while client traffic is in flight: op "join" grows the ring by
+// one node mid-run (started with Joining so the legacy ring never
+// routed to it early), op "drain" streams the last node's ownership to
+// the survivors and shrinks the ring. The golden equivalence tests
+// assert the merged snapshot is STILL byte-identical to the single-node
+// golden — a scale event must be invisible in the data, not just
+// row-conserving.
+func RunClusterRebalance(cfg Config, n int, op string) (*Result, error) {
+	switch op {
+	case "join", "drain":
+		return runCluster(cfg, n, op)
+	}
+	return nil, fmt.Errorf("verify: unknown rebalance op %q", op)
+}
+
+func runCluster(cfg Config, n int, op string) (*Result, error) {
 	if n <= 0 {
 		n = 3
 	}
@@ -47,11 +67,18 @@ func RunCluster(cfg Config, n int) (*Result, error) {
 			s.Close()
 		}
 	}()
-	for i := 0; i < n; i++ {
+	total := n
+	if op == "join" {
+		// The joiner exists from the start but holds itself out of the
+		// ring (Joining) until JoinRing commits an epoch mid-run.
+		total = n + 1
+	}
+	for i := 0; i < total; i++ {
 		ncfg := cluster.NodeConfig{
 			ID:      fmt.Sprintf("verify-node-%d", i),
 			UDPAddr: "127.0.0.1:0", HTTPAddr: "127.0.0.1:0", CtrlAddr: "127.0.0.1:0",
 			Peers: append([]string(nil), peers...), Gossip: gossip,
+			Joining: op == "join" && i == n,
 		}
 		if cfg.SegmentDir != "" {
 			// Each node persists its shard to its own segment directory.
@@ -78,8 +105,26 @@ func RunCluster(cfg Config, n int) (*Result, error) {
 		return nil, fmt.Errorf("verify: cluster front: %w", err)
 	}
 	defer front.Close()
-	if err := waitAlive(front, n, 10*time.Second); err != nil {
+	if err := waitAlive(front, total, 10*time.Second); err != nil {
 		return nil, err
+	}
+
+	// Fire the membership change shortly after traffic starts, so the
+	// transfer races live uploads and the fenced cutover window.
+	var opCh chan error
+	if op != "" {
+		opCh = make(chan error, 1)
+		go func() {
+			time.Sleep(300 * time.Millisecond)
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			switch op {
+			case "join":
+				opCh <- nodes[n].JoinRing(ctx)
+			case "drain":
+				opCh <- nodes[n-1].Drain(ctx)
+			}
+		}()
 	}
 
 	scanner := newPrivacyScanner(w)
@@ -120,6 +165,19 @@ func RunCluster(cfg Config, n int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opCh != nil {
+		select {
+		case operr := <-opCh:
+			if operr != nil {
+				return nil, fmt.Errorf("verify: cluster %s: %w", op, operr)
+			}
+		case <-time.After(3 * time.Minute):
+			return nil, fmt.Errorf("verify: cluster %s did not finish", op)
+		}
+	}
+	// Merging across EVERY node (a drained node included — it must hold
+	// nothing) keeps the equivalence check honest: a row left behind or
+	// applied twice during the move shows up as a snapshot diff.
 	merged := mergeClusterStores(front, nodes)
 	return &Result{Cfg: cfg, World: w, Ingested: merged, PrivacyViolations: scanner.take()}, nil
 }
